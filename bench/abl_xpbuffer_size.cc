@@ -1,0 +1,54 @@
+// Ablation: sensitivity of the paper's guidelines to the XPBuffer size.
+//
+// §6 of the paper argues the 256 B-locality guideline is a direct product
+// of the 16 KB XPBuffer; if future devices grow it, the working-set limit
+// relaxes. We sweep the modeled buffer capacity and re-run (a) the Fig 10
+// capacity probe and (b) random 64 B ntstore EWR/bandwidth.
+#include "bench/bench_util.h"
+#include "lattester/kernels.h"
+#include "lattester/runner.h"
+#include "xpsim/platform.h"
+
+namespace {
+
+using namespace xp;
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Ablation", "XPBuffer capacity sensitivity");
+  benchutil::row("%10s %14s %14s %12s %12s", "buffer", "WA@16K-probe",
+                 "WA@64K-probe", "rand64B EWR", "rand64B GB/s");
+  for (unsigned lines : {16u, 32u, 64u, 128u, 256u}) {
+    hw::Timing timing;
+    timing.xpbuffer_lines = lines;
+
+    hw::Platform p1(timing);
+    auto& probe_ns = p1.optane_ni(64 << 20);
+    const double wa16 = lat::xpbuffer_write_amp_probe(p1, probe_ns, 16384);
+    const double wa64 = lat::xpbuffer_write_amp_probe(p1, probe_ns, 65536);
+
+    hw::Platform p2(timing);
+    hw::NamespaceOptions o;
+    o.device = hw::Device::kXp;
+    o.interleaved = false;
+    o.size = 2ull << 30;
+    o.discard_data = true;
+    auto& ns = p2.add_namespace(o);
+    lat::WorkloadSpec spec;
+    spec.op = lat::Op::kNtStore;
+    spec.pattern = lat::Pattern::kRand;
+    spec.access_size = 64;
+    spec.threads = 1;
+    spec.region_size = o.size;
+    spec.duration = sim::ms(1);
+    const lat::Result r = lat::run(p2, ns, spec);
+
+    benchutil::row("%9uL %14.2f %14.2f %12.2f %12.2f", lines, wa16, wa64,
+                   r.ewr, r.bandwidth_gbps);
+  }
+  benchutil::note("expected: the WA cliff tracks the configured capacity; "
+                  "random 64 B EWR stays ~0.25 regardless (locality, not "
+                  "capacity, is the fix)");
+  return 0;
+}

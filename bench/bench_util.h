@@ -1,0 +1,53 @@
+// Shared output helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) a banner naming the paper figure it regenerates,
+// (b) the measured series in the same rows/units the paper reports, and
+// (c) where useful, the paper's qualitative expectation for eyeballing.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace xp::benchutil {
+
+inline void banner(const char* fig, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", fig, title);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::printf("  # ");
+  std::vprintf(fmt, ap);
+  std::printf("\n");
+  va_end(ap);
+}
+
+inline void row(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::printf("  ");
+  std::vprintf(fmt, ap);
+  std::printf("\n");
+  va_end(ap);
+}
+
+inline std::string human_size(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1u << 20) && bytes % (1u << 20) == 0)
+    std::snprintf(buf, sizeof(buf), "%lluM",
+                  static_cast<unsigned long long>(bytes >> 20));
+  else if (bytes >= 1024 && bytes % 1024 == 0)
+    std::snprintf(buf, sizeof(buf), "%lluK",
+                  static_cast<unsigned long long>(bytes >> 10));
+  else
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+}  // namespace xp::benchutil

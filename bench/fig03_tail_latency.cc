@@ -1,0 +1,77 @@
+// Reproduces paper Figure 3: tail latency vs. write-hotspot size.
+//
+// A single thread repeatedly overwrites a small region ("hotspot")
+// sequentially with fenced 256 B non-temporal stores. On Optane, rare
+// wear-leveling migrations stall the XPController for ~50 us; the smaller
+// the hotspot, the faster per-line wear accumulates and the more outliers
+// appear. DRAM shows none.
+#include "bench/bench_util.h"
+#include "lattester/runner.h"
+#include "xpsim/platform.h"
+
+int main() {
+  using namespace xp;
+  benchutil::banner("Figure 3",
+                    "Write tail latency vs hotspot size (one thread)");
+  benchutil::row("%-10s %12s %12s %12s %12s", "hotspot", "p50(us)",
+                 "p99.99(us)", "p99.999(us)", "max(us)");
+
+  for (std::uint64_t hotspot : {256ull, 2048ull, 16384ull, 131072ull,
+                                1048576ull, 8388608ull, 67108864ull}) {
+    hw::Timing timing;
+    // Scale the wear threshold down so the simulated 10 ms window
+    // exercises per-line write counts comparable (relative to threshold)
+    // to the paper's multi-second runs; the outlier-frequency-vs-hotspot
+    // trend is preserved, compressed to smaller hotspot sizes.
+    timing.wear_threshold = 256;
+    hw::Platform platform(timing);
+    hw::NamespaceOptions o;
+    o.device = hw::Device::kXp;
+    o.size = std::max<std::uint64_t>(hotspot, 1 << 20);
+    o.discard_data = true;
+    auto& ns = platform.add_namespace(o);
+
+    lat::WorkloadSpec spec;
+    spec.op = lat::Op::kNtStore;
+    spec.pattern = lat::Pattern::kSeq;
+    spec.access_size = 256;
+    spec.region_size = hotspot;
+    spec.threads = 1;
+    spec.mlp = 1;
+    spec.fence_each_op = true;
+    spec.duration = sim::ms(10);
+    const lat::Result r = lat::run(platform, ns, spec);
+
+    benchutil::row("%-10s %12.2f %12.2f %12.2f %12.2f",
+                   benchutil::human_size(hotspot).c_str(), r.p_ns(0.5) / 1e3,
+                   r.p_ns(0.9999) / 1e3, r.p_ns(0.99999) / 1e3,
+                   r.p_ns(1.0) / 1e3);
+  }
+
+  // DRAM baseline: no outliers at any hotspot size.
+  {
+    hw::Platform platform;
+    hw::NamespaceOptions o;
+    o.device = hw::Device::kDram;
+    o.size = 1 << 20;
+    o.discard_data = true;
+    auto& ns = platform.add_namespace(o);
+    lat::WorkloadSpec spec;
+    spec.op = lat::Op::kNtStore;
+    spec.access_size = 256;
+    spec.region_size = 256;
+    spec.threads = 1;
+    spec.mlp = 1;
+    spec.fence_each_op = true;
+    spec.duration = sim::ms(5);
+    const lat::Result r = lat::run(platform, ns, spec);
+    benchutil::row("%-10s %12.2f %12.2f %12.2f %12.2f  (DRAM 256B hotspot)",
+                   "DRAM", r.p_ns(0.5) / 1e3, r.p_ns(0.9999) / 1e3,
+                   r.p_ns(0.99999) / 1e3, r.p_ns(1.0) / 1e3);
+  }
+
+  benchutil::note("paper: rare outliers up to ~50 us (100x the common "
+                  "case), frequency falling as the hotspot grows; absent "
+                  "on DRAM");
+  return 0;
+}

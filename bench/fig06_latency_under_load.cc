@@ -1,0 +1,116 @@
+// Reproduces paper Figure 6: latency under varying load.
+//
+// Classic loaded-latency methodology (as in Intel MLC): N-1 loader
+// threads issue pipelined accesses with a tunable inter-op delay to set
+// the offered load; one probe thread issues dependent (fenced, one at a
+// time) accesses and records true latency. Sweeping the delay traces the
+// latency/bandwidth curve up to the queueing wall.
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/histogram.h"
+#include "sim/scheduler.h"
+#include "xpsim/platform.h"
+
+namespace {
+
+using namespace xp;
+
+struct Point {
+  double bw_gbps;
+  double lat_ns;
+};
+
+Point measure(hw::Device device, bool random, bool write, unsigned threads,
+              double delay_ns) {
+  hw::Platform platform;
+  hw::NamespaceOptions o;
+  o.device = device;
+  o.size = 8ull << 30;
+  o.discard_data = true;
+  auto& ns = platform.add_namespace(o);
+
+  const sim::Time window = sim::ms(1);
+  const std::uint64_t slots = o.size / 256;
+  sim::Scheduler sched;
+  std::vector<std::uint64_t> bytes(threads, 0);
+  sim::Histogram probe_lat;
+
+  for (unsigned j = 0; j < threads; ++j) {
+    const bool is_probe = j == 0;
+    sched.spawn(
+        {.id = j, .socket = 0,
+         .mlp = is_probe ? 1u : platform.timing().default_mlp,
+         .seed = j + 3},
+        [&, j, is_probe, cursor = std::uint64_t(j) * (o.size / threads)](
+            sim::ThreadCtx& ctx) mutable {
+          if (ctx.now() >= window) return false;
+          std::uint64_t off;
+          if (random) {
+            off = ctx.rng().uniform(slots) * 256;
+          } else {
+            off = cursor;
+            // True sequential: 64 B reads walk every cache line (so the
+            // XPBuffer sees 4 hits per line); writes walk 256 B records.
+            cursor = (cursor + (write ? 256 : 64)) % (o.size - 256);
+          }
+          std::uint8_t buf[256] = {1};
+          const sim::Time t0 = ctx.now();
+          if (write) {
+            ns.ntstore(ctx, off, std::span<const std::uint8_t>(buf, 256));
+          } else {
+            ns.load(ctx, off, std::span<std::uint8_t>(buf, 64));
+          }
+          if (is_probe) {
+            ns.mfence(ctx);
+            probe_lat.record(ctx.now() - t0);
+          } else {
+            bytes[j] += write ? 256 : 64;
+            if (delay_ns > 0) ctx.advance_by(sim::ns(delay_ns));
+          }
+          return true;
+        });
+  }
+  sched.run();
+  std::uint64_t total = 0;
+  for (auto b : bytes) total += b;
+  // Probe latency reported per 64 B (reads) / per 256 B op (writes).
+  return {sim::gbps(total, window), probe_lat.mean() / 1e3};
+}
+
+void curve(const char* name, hw::Device device, bool random, bool write,
+           unsigned threads) {
+  benchutil::row("%s", name);
+  benchutil::row("%12s %12s %14s", "delay(ns)", "BW(GB/s)", "latency(ns)");
+  for (double delay_ns : {0.0, 50.0, 150.0, 400.0, 1000.0, 4000.0,
+                          20000.0, 80000.0}) {
+    const Point p = measure(device, random, write, threads, delay_ns);
+    benchutil::row("%12.0f %12.2f %14.0f", delay_ns, p.bw_gbps, p.lat_ns);
+  }
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Figure 6",
+                    "Loaded latency: probe thread + delay-throttled "
+                    "loaders");
+  curve("DRAM read, sequential (16 threads)", hw::Device::kDram, false,
+        false, 16);
+  curve("DRAM read, random (16 threads)", hw::Device::kDram, true, false,
+        16);
+  curve("Optane read, sequential (16 threads)", hw::Device::kXp, false,
+        false, 16);
+  curve("Optane read, random (16 threads)", hw::Device::kXp, true, false,
+        16);
+  curve("DRAM ntstore, sequential (4 threads)", hw::Device::kDram, false,
+        true, 4);
+  curve("Optane ntstore, sequential (4 threads)", hw::Device::kXp, false,
+        true, 4);
+  curve("Optane ntstore, random (4 threads)", hw::Device::kXp, true, true,
+        4);
+  benchutil::note("paper shapes: latency flat at low load, rising sharply "
+                  "at the bandwidth wall; the wall comes much earlier for "
+                  "Optane; Optane strongly pattern-dependent, DRAM not");
+  return 0;
+}

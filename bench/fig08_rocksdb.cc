@@ -1,0 +1,85 @@
+// Reproduces paper Figure 8: migrating RocksDB to persistent memory.
+//
+// db_bench-style SET workload (20 B keys, 100 B values, sync after every
+// SET) against the three persistence strategies from Xu et al. [59]:
+// WAL through a POSIX file, WAL via FLEX (user-space pmem append), and a
+// fine-grained persistent-skiplist memtable with no WAL — on emulated
+// pmem (plain DRAM) and on the simulated Optane DIMMs.
+//
+// The headline result: the winner INVERTS between DRAM and Optane.
+#include <string>
+
+#include "bench/bench_util.h"
+#include "lsmkv/db.h"
+#include "xpsim/platform.h"
+
+namespace {
+
+using namespace xp;
+
+std::string key_of(int i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "k%018d", i);  // 19 chars + NUL ~ 20 B
+  return buf;
+}
+
+double set_kops(hw::Device device, kv::WalMode wal, kv::MemtableMode mem) {
+  hw::Platform platform;
+  hw::PmemNamespace& ns = device == hw::Device::kXp
+                              ? platform.optane(2048ull << 20)
+                              : platform.dram(2048ull << 20);
+  sim::ThreadCtx t({.id = 0, .socket = 0, .mlp = 16, .seed = 3});
+  kv::DbOptions o;
+  o.wal = wal;
+  o.memtable = mem;
+  o.sync_every_op = true;
+  kv::Db db(ns, o);
+  db.create(t);
+
+  const std::string value(100, 'v');
+  const int n = 20000;
+  sim::Rng rng(17);
+  const sim::Time t0 = t.now();
+  for (int i = 0; i < n; ++i)
+    db.put(t, key_of(static_cast<int>(rng.uniform(1000000))), value);
+  const sim::Time elapsed = t.now() - t0;
+  return n / sim::to_s(elapsed) / 1e3;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Figure 8",
+                    "RocksDB SET throughput (KOps/s), sync per op");
+  benchutil::row("%-24s %12s %12s", "strategy", "DRAM", "Optane");
+
+  const double dram_posix = set_kops(hw::Device::kDram, kv::WalMode::kPosix,
+                                     kv::MemtableMode::kVolatile);
+  const double xp_posix = set_kops(hw::Device::kXp, kv::WalMode::kPosix,
+                                   kv::MemtableMode::kVolatile);
+  benchutil::row("%-24s %12.0f %12.0f", "WAL (POSIX file)", dram_posix,
+                 xp_posix);
+
+  const double dram_flex = set_kops(hw::Device::kDram, kv::WalMode::kFlex,
+                                    kv::MemtableMode::kVolatile);
+  const double xp_flex = set_kops(hw::Device::kXp, kv::WalMode::kFlex,
+                                  kv::MemtableMode::kVolatile);
+  benchutil::row("%-24s %12.0f %12.0f", "WAL (FLEX)", dram_flex, xp_flex);
+
+  const double dram_pskip = set_kops(hw::Device::kDram, kv::WalMode::kNone,
+                                     kv::MemtableMode::kPersistent);
+  const double xp_pskip = set_kops(hw::Device::kXp, kv::WalMode::kNone,
+                                   kv::MemtableMode::kPersistent);
+  benchutil::row("%-24s %12.0f %12.0f", "Persistent skiplist", dram_pskip,
+                 xp_pskip);
+
+  benchutil::row("");
+  benchutil::row("pskip vs FLEX: DRAM %+.0f%%, Optane %+.0f%%",
+                 (dram_pskip / dram_flex - 1) * 100,
+                 (xp_pskip / xp_flex - 1) * 100);
+  benchutil::note("paper: persistent skiplist wins by ~19%% on DRAM; on "
+                  "real Optane the conclusion inverts and FLEX wins by "
+                  "~10%% (small random persists run at EWR 0.43 vs the "
+                  "WAL's 0.999)");
+  return 0;
+}

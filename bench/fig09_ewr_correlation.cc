@@ -1,0 +1,98 @@
+// Reproduces paper Figure 9: EWR vs device throughput on a single DIMM.
+//
+// Sweeps access size x thread count x pattern for each store kind and
+// plots (EWR, bandwidth) pairs plus the per-kind linear-fit r^2 — the
+// paper's evidence that maximizing EWR maximizes bandwidth.
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "lattester/runner.h"
+#include "xpsim/platform.h"
+
+namespace {
+
+using namespace xp;
+
+struct PointR {
+  double ewr;
+  double bw;
+};
+
+std::vector<PointR> sweep(lat::Op op) {
+  std::vector<PointR> points;
+  for (std::size_t access : {64u, 128u, 256u, 1024u, 4096u}) {
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      for (lat::Pattern pattern : {lat::Pattern::kSeq, lat::Pattern::kRand}) {
+        hw::Platform platform;
+        hw::NamespaceOptions o;
+        o.device = hw::Device::kXp;
+        o.interleaved = false;
+        o.size = 2ull << 30;
+        o.discard_data = true;
+        auto& ns = platform.add_namespace(o);
+        lat::WorkloadSpec spec;
+        spec.op = op;
+        spec.pattern = pattern;
+        spec.access_size = access;
+        spec.threads = threads;
+        spec.region_size = o.size;
+        // Cached-store curves only reach the natural-eviction steady
+        // state after streaming past the LLC capacity.
+        const bool cached = op != lat::Op::kNtStore;
+        spec.warmup = cached ? sim::ms(3) : sim::us(50);
+        spec.duration = cached ? sim::ms(3) : sim::ms(1);
+        const lat::Result r = lat::run(platform, ns, spec);
+        if (r.xp_delta.media_write_bytes > 0)
+          points.push_back({std::min(r.ewr, 1.5), r.bandwidth_gbps});
+      }
+    }
+  }
+  return points;
+}
+
+struct Fit {
+  double slope, r2;
+};
+
+Fit fit(const std::vector<PointR>& pts) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  const double n = static_cast<double>(pts.size());
+  for (const auto& p : pts) {
+    sx += p.ewr;
+    sy += p.bw;
+    sxx += p.ewr * p.ewr;
+    sxy += p.ewr * p.bw;
+    syy += p.bw * p.bw;
+  }
+  const double cov = sxy - sx * sy / n;
+  const double varx = sxx - sx * sx / n;
+  const double vary = syy - sy * sy / n;
+  Fit f;
+  f.slope = cov / varx;
+  f.r2 = (cov * cov) / (varx * vary);
+  return f;
+}
+
+void panel(const char* name, lat::Op op) {
+  const auto pts = sweep(op);
+  const Fit f = fit(pts);
+  benchutil::row("%s: %zu points, slope=%.2f GB/s per EWR, r^2=%.2f", name,
+                 pts.size(), f.slope, f.r2);
+  for (const auto& p : pts)
+    benchutil::row("    ewr=%.2f  bw=%.2f", p.ewr, p.bw);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Figure 9",
+                    "EWR vs bandwidth on a single DIMM (scatter + fit)");
+  panel("NT store", lat::Op::kNtStore);
+  panel("Store", lat::Op::kStore);
+  panel("Store+clwb", lat::Op::kStoreClwb);
+  benchutil::note("paper: strong positive correlation for every store "
+                  "kind (r^2 = 0.97/0.60/0.74); EWR is the lever for "
+                  "write bandwidth");
+  return 0;
+}

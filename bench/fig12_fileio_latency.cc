@@ -1,0 +1,127 @@
+// Reproduces paper Figure 12: file-IO latency across file systems.
+//
+// Random 64 B and 256 B overwrites plus 4 KB reads on: XFS-DAX and
+// Ext4-DAX (each with and without fsync-per-write), NOVA, and
+// NOVA-datalog. NOVA(-datalog) provides data consistency; the DAX file
+// systems do not — which is the context for NOVA-datalog matching or
+// beating them.
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "novafs/daxfs.h"
+#include "novafs/novafs.h"
+#include "xpsim/platform.h"
+
+namespace {
+
+using namespace xp;
+
+constexpr std::uint64_t kFileSize = 16 << 20;
+
+struct Case {
+  const char* name;
+  std::function<nova::FileSystem*(hw::Platform&, sim::ThreadCtx&)> make;
+};
+
+struct Latencies {
+  double ow64_us, ow256_us, rd4k_us;
+};
+
+Latencies measure(const Case& c) {
+  hw::Platform platform;
+  sim::ThreadCtx t({.id = 0, .socket = 0, .mlp = 16, .seed = 1});
+  std::unique_ptr<nova::FileSystem> fs(c.make(platform, t));
+  const int f = fs->create(t, "bench");
+  std::vector<std::uint8_t> block(4096, 0x42);
+  for (std::uint64_t off = 0; off < kFileSize; off += 4096)
+    fs->write(t, f, off, block);
+
+  platform.reset_timing();
+  sim::Rng rng(11);
+  auto overwrite = [&](std::size_t size) {
+    sim::ThreadCtx tt({.id = 0, .socket = 0, .mlp = 16, .seed = 2});
+    std::vector<std::uint8_t> data(size, 0x7e);
+    const int n = 300;
+    const sim::Time t0 = tt.now();
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t off = rng.uniform(kFileSize / size) * size;
+      fs->write(tt, f, off, data);
+    }
+    return sim::to_us(tt.now() - t0) / n;
+  };
+  auto read4k = [&] {
+    sim::ThreadCtx tt({.id = 0, .socket = 0, .mlp = 16, .seed = 3});
+    std::vector<std::uint8_t> out(4096);
+    const int n = 300;
+    const sim::Time t0 = tt.now();
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t off = rng.uniform(kFileSize / 4096) * 4096;
+      fs->read(tt, f, off, out);
+    }
+    return sim::to_us(tt.now() - t0) / n;
+  };
+
+  Latencies l;
+  l.ow64_us = overwrite(64);
+  l.ow256_us = overwrite(256);
+  l.rd4k_us = read4k();
+  return l;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Figure 12", "File IO latency (us), single thread");
+
+  std::vector<Case> cases;
+  cases.push_back({"XFS-DAX-sync", [](hw::Platform& p, sim::ThreadCtx&) {
+                     return new nova::DaxFs(p.optane(512 << 20),
+                                            nova::xfs_profile(), true);
+                   }});
+  cases.push_back({"XFS-DAX", [](hw::Platform& p, sim::ThreadCtx&) {
+                     return new nova::DaxFs(p.optane(512 << 20),
+                                            nova::xfs_profile(), false);
+                   }});
+  cases.push_back({"Ext4-DAX-sync", [](hw::Platform& p, sim::ThreadCtx&) {
+                     return new nova::DaxFs(p.optane(512 << 20),
+                                            nova::ext4_profile(), true);
+                   }});
+  cases.push_back({"Ext4-DAX", [](hw::Platform& p, sim::ThreadCtx&) {
+                     return new nova::DaxFs(p.optane(512 << 20),
+                                            nova::ext4_profile(), false);
+                   }});
+  cases.push_back({"NOVA", [](hw::Platform& p, sim::ThreadCtx& t) {
+                     auto* fs = new nova::NovaFs(p.optane(512 << 20),
+                                                 nova::NovaOptions{});
+                     fs->format(t);
+                     return fs;
+                   }});
+  cases.push_back({"NOVA-datalog", [](hw::Platform& p, sim::ThreadCtx& t) {
+                     nova::NovaOptions o;
+                     o.datalog = true;
+                     auto* fs = new nova::NovaFs(p.optane(512 << 20), o);
+                     fs->format(t);
+                     return fs;
+                   }});
+
+  benchutil::row("%-16s %14s %14s %12s", "fs", "overwrite 64B",
+                 "overwrite 256B", "read 4KB");
+  Latencies nova_l{}, datalog_l{};
+  for (const Case& c : cases) {
+    const Latencies l = measure(c);
+    benchutil::row("%-16s %14.2f %14.2f %12.2f", c.name, l.ow64_us,
+                   l.ow256_us, l.rd4k_us);
+    if (std::string(c.name) == "NOVA") nova_l = l;
+    if (std::string(c.name) == "NOVA-datalog") datalog_l = l;
+  }
+  benchutil::row("");
+  benchutil::row("NOVA-datalog speedup over NOVA: %.1fx (64B), %.1fx (256B)",
+                 nova_l.ow64_us / datalog_l.ow64_us,
+                 nova_l.ow256_us / datalog_l.ow256_us);
+  benchutil::note("paper: datalog improves small random overwrites 7x/6.5x "
+                  "(64/256 B), matching or beating the DAX file systems "
+                  "while keeping data consistency; reads pay slightly for "
+                  "the merge; Ext4-DAX-sync bars clip at 40/57 us");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces paper Figure 13: choosing persistence instructions.
+//
+// Left: bandwidth of sequential writes at 6 threads for ntstore,
+// store+clwb, and bare store. Right: fenced single-thread latency of
+// ntstore vs store+clwb over access sizes. Key claims: flushing right
+// after each store keeps the stream sequential (EWR 0.26 -> 0.98) and
+// beats bare stores; ntstore avoids the RFO read and wins for >=512 B.
+#include "bench/bench_util.h"
+#include "lattester/runner.h"
+#include "xpsim/platform.h"
+
+namespace {
+
+using namespace xp;
+
+lat::Result run_case(lat::Op op, std::size_t access, unsigned threads,
+                     bool fenced) {
+  hw::Platform platform;
+  hw::NamespaceOptions o;
+  o.device = hw::Device::kXp;
+  o.size = 8ull << 30;
+  o.discard_data = true;
+  auto& ns = platform.add_namespace(o);
+  lat::WorkloadSpec spec;
+  spec.op = op;
+  spec.pattern = lat::Pattern::kSeq;
+  spec.access_size = access;
+  spec.threads = threads;
+  spec.mlp = fenced ? 1 : 0;
+  spec.fence_each_op = fenced;
+  if (fenced) {
+    // Latency methodology: warm, cache-resident lines (Fig 2 style).
+    spec.region_size = 128 << 10;
+    spec.warmup = sim::us(500);
+    spec.duration = sim::ms(1);
+  } else {
+    spec.region_size = o.size;
+    // Bare stores need to stream well past the LLC capacity before the
+    // natural-eviction steady state (the regime the paper measures) is
+    // reached.
+    spec.warmup = op == lat::Op::kStore ? sim::ms(4) : sim::us(50);
+    spec.duration = sim::ms(4);
+  }
+  return lat::run(platform, ns, spec);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Figure 13", "Persistence instruction choice");
+
+  benchutil::row("Bandwidth (GB/s), 6 threads, sequential — plus EWR");
+  benchutil::row("%8s %16s %16s %16s", "size", "ntstore", "store+clwb",
+                 "store");
+  for (std::size_t access : {64u, 128u, 256u, 512u, 1024u, 4096u}) {
+    const lat::Result nt = run_case(lat::Op::kNtStore, access, 6, false);
+    const lat::Result cl = run_case(lat::Op::kStoreClwb, access, 6, false);
+    const lat::Result st = run_case(lat::Op::kStore, access, 6, false);
+    benchutil::row("%8s %9.1f (e%.2f) %9.1f (e%.2f) %9.1f (e%.2f)",
+                   benchutil::human_size(access).c_str(), nt.bandwidth_gbps,
+                   nt.ewr, cl.bandwidth_gbps, cl.ewr, st.bandwidth_gbps,
+                   st.ewr);
+  }
+
+  benchutil::row("");
+  benchutil::row("Latency (ns), 1 thread, fenced");
+  benchutil::row("%8s %12s %14s", "size", "ntstore", "store+clwb");
+  for (std::size_t access : {64u, 256u, 1024u, 4096u}) {
+    const lat::Result nt = run_case(lat::Op::kNtStore, access, 1, true);
+    const lat::Result cl = run_case(lat::Op::kStoreClwb, access, 1, true);
+    benchutil::row("%8s %12.0f %14.0f",
+                   benchutil::human_size(access).c_str(),
+                   nt.avg_latency_ns(), cl.avg_latency_ns());
+  }
+
+  benchutil::note("paper: store+clwb beats bare store beyond 64 B "
+                  "(explicit flushes keep the stream ordered, EWR 0.26 -> "
+                  "0.98); ntstore has the best bandwidth above 256 B and "
+                  "the best latency above 512 B (no RFO read)");
+  return 0;
+}

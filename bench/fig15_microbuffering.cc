@@ -1,0 +1,59 @@
+// Reproduces paper Figure 15: tuning persistence instructions for
+// micro-buffering (Pangolin).
+//
+// No-op transaction latency over object sizes for PGL-NT (always
+// non-temporal write-back) vs PGL-CLWB (store+clwb write-back), on cold
+// objects. Guideline #2 predicts a crossover near 1 KB.
+#include "bench/bench_util.h"
+#include "pmemlib/microbuf.h"
+#include "xpsim/platform.h"
+
+namespace {
+
+using namespace xp;
+
+double txn_latency_us(pmem::WriteBack mode, std::size_t size) {
+  hw::Platform platform;
+  auto& ns = platform.optane(512 << 20);
+  sim::ThreadCtx setup({.id = 9, .socket = 0, .mlp = 16, .seed = 1});
+  pmem::Pool pool(ns);
+  pool.create(setup, 64);
+  std::uint64_t arena;
+  {
+    pmem::Tx tx(pool, setup);
+    arena = pool.tx_alloc(tx, 256ull * 16384);
+    tx.commit();
+  }
+  platform.reset_timing();
+
+  pmem::MicroBuf mb(pool, mode);
+  sim::ThreadCtx t({.id = 0, .socket = 0, .mlp = 16, .seed = 2});
+  const int n = 128;
+  const sim::Time t0 = t.now();
+  for (int i = 0; i < n; ++i) {
+    mb.update(t, arena + static_cast<std::uint64_t>(i) * 16384, size,
+              [](std::span<std::uint8_t>) {});
+  }
+  return sim::to_us(t.now() - t0) / n;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Figure 15",
+                    "Micro-buffering no-op transaction latency (us)");
+  benchutil::row("%8s %10s %10s %12s", "object", "PGL-NT", "PGL-CLWB",
+                 "winner");
+  for (std::size_t size : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u,
+                           8192u}) {
+    const double nt = txn_latency_us(pmem::WriteBack::kNt, size);
+    const double cl = txn_latency_us(pmem::WriteBack::kClwb, size);
+    benchutil::row("%8s %10.2f %10.2f %12s",
+                   benchutil::human_size(size).c_str(), nt, cl,
+                   nt < cl ? "PGL-NT" : "PGL-CLWB");
+  }
+  benchutil::note("paper: PGL-CLWB wins for small objects, PGL-NT for "
+                  "large; crossover near 1 KB — the basis for the "
+                  "adaptive write-back policy (WriteBack::kAdaptive)");
+  return 0;
+}

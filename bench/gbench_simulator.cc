@@ -1,0 +1,87 @@
+// Host-side performance of the simulator itself (google-benchmark).
+//
+// Unlike the fig* benches (which report *simulated* time), this measures
+// how fast the simulation runs on the host — useful for keeping the
+// figure sweeps cheap and for spotting host-side regressions in the hot
+// access paths.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "xpsim/platform.h"
+
+namespace {
+
+using namespace xp;
+
+void BM_Load64(benchmark::State& state) {
+  hw::Platform platform;
+  hw::NamespaceOptions o;
+  o.device = hw::Device::kXp;
+  o.size = 1ull << 30;
+  o.discard_data = true;
+  auto& ns = platform.add_namespace(o);
+  sim::ThreadCtx t({.id = 0, .socket = 0, .mlp = 20, .seed = 1});
+  std::vector<std::uint8_t> buf(64);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    ns.load(t, off, buf);
+    off = (off + 64) & ((1ull << 30) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Load64);
+
+void BM_NtStore256(benchmark::State& state) {
+  hw::Platform platform;
+  hw::NamespaceOptions o;
+  o.device = hw::Device::kXp;
+  o.size = 1ull << 30;
+  o.discard_data = true;
+  auto& ns = platform.add_namespace(o);
+  sim::ThreadCtx t({.id = 0, .socket = 0, .mlp = 20, .seed = 1});
+  std::vector<std::uint8_t> buf(256, 0xaa);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    ns.ntstore(t, off, buf);
+    off = (off + 256) & ((1ull << 30) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NtStore256);
+
+void BM_StorePersist64(benchmark::State& state) {
+  hw::Platform platform;
+  auto& ns = platform.optane(64 << 20);
+  sim::ThreadCtx t({.id = 0, .socket = 0, .mlp = 20, .seed = 1});
+  std::vector<std::uint8_t> buf(64, 0x5a);
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    ns.store_persist(t, off, buf);
+    off = (off + 64) & ((64ull << 20) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StorePersist64);
+
+void BM_SchedulerStep(benchmark::State& state) {
+  // Round-trip cost of the scheduler with 8 idle-spinning threads.
+  const std::int64_t steps = state.range(0);
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (unsigned i = 0; i < 8; ++i) {
+      sched.spawn({.id = i, .socket = 0, .mlp = 1, .seed = i},
+                  [n = std::int64_t{0}, steps](sim::ThreadCtx& ctx) mutable {
+                    ctx.advance_by(sim::ns(10));
+                    return ++n < steps;
+                  });
+    }
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * steps * 8);
+}
+BENCHMARK(BM_SchedulerStep)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+#include "fio/fio.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace xp::fio {
+
+namespace {
+bool is_write(Rw rw) { return rw == Rw::kSeqWrite || rw == Rw::kRandWrite; }
+bool is_rand(Rw rw) { return rw == Rw::kRandRead || rw == Rw::kRandWrite; }
+}  // namespace
+
+Result run(hw::Platform& platform, nova::FileSystem& fs, const Job& job) {
+  // ---- setup (untimed): create and pre-fill the per-job files ----------
+  std::vector<int> files(job.numjobs);
+  {
+    std::vector<std::uint8_t> block(job.block_size, 0x66);
+    for (unsigned j = 0; j < job.numjobs; ++j) {
+      // Each job lays out its own file (so allocation policies that key
+      // on the writing thread — multi-DIMM pinning — see the real owner).
+      sim::ThreadCtx setup({.id = j, .socket = 0, .mlp = 16, .seed = 11});
+      files[j] = fs.create(setup, "fio." + std::to_string(j));
+      for (std::uint64_t off = 0; off + job.block_size <= job.file_size;
+           off += job.block_size)
+        fs.write(setup, files[j], off, block);
+    }
+  }
+  platform.reset_timing();
+
+  // ---- measurement -------------------------------------------------------
+  struct JobState {
+    std::uint64_t cursor = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    sim::Histogram latency;
+    std::vector<std::uint8_t> buf;
+    // In-progress (chunked) op: large blocks run <=4 KB per scheduler
+    // step so one job's 64 KB IO doesn't execute atomically ahead of the
+    // other jobs.
+    bool op_active = false;
+    std::uint64_t op_off = 0;
+    std::size_t op_pos = 0;
+    sim::Time op_start = 0;
+  };
+  std::vector<JobState> states(job.numjobs);
+  for (unsigned j = 0; j < job.numjobs; ++j) {
+    states[j].buf.assign(job.block_size,
+                         static_cast<std::uint8_t>(0x10 + j));
+    states[j].cursor =
+        (job.seed * (j + 1) * 2654435761ULL) %
+        (job.file_size / job.block_size) * job.block_size;
+  }
+
+  const sim::Time window_start = job.warmup;
+  const sim::Time window_end = job.warmup + job.runtime;
+  const std::uint64_t blocks = job.file_size / job.block_size;
+
+  sim::Scheduler sched;
+  for (unsigned j = 0; j < job.numjobs; ++j) {
+    JobState* st = &states[j];
+    const int fd = files[j];
+    sim::ThreadCtx::Options opts;
+    opts.id = j;
+    opts.socket = 0;
+    opts.mlp = job.sync_engine
+                   ? platform.timing().default_mlp
+                   : platform.timing().default_mlp * std::max(1u, job.iodepth);
+    opts.seed = job.seed * 31 + j;
+    sched.spawn(opts, [&, st, fd](sim::ThreadCtx& ctx) -> bool {
+      constexpr std::size_t kStepChunk = 4096;
+      if (!st->op_active) {
+        if (ctx.now() >= window_end) return false;
+        if (is_rand(job.rw)) {
+          st->op_off = ctx.rng().uniform(blocks) * job.block_size;
+        } else {
+          st->op_off = st->cursor;
+          st->cursor += job.block_size;
+          if (st->cursor + job.block_size > job.file_size) st->cursor = 0;
+        }
+        st->op_pos = 0;
+        st->op_start = ctx.now();
+        st->op_active = true;
+      }
+      const std::size_t n =
+          std::min(kStepChunk, job.block_size - st->op_pos);
+      const bool first = st->op_pos == 0;
+      if (is_write(job.rw)) {
+        fs.write(ctx, fd, st->op_off + st->op_pos,
+                 std::span<const std::uint8_t>(st->buf.data() + st->op_pos,
+                                               n),
+                 first);
+      } else {
+        fs.read(ctx, fd, st->op_off + st->op_pos,
+                std::span<std::uint8_t>(st->buf.data() + st->op_pos, n),
+                first);
+      }
+      st->op_pos += n;
+      if (st->op_pos < job.block_size) return true;
+
+      st->op_active = false;
+      if (is_write(job.rw) && job.sync_engine) fs.fsync(ctx, fd);
+      if (job.sync_engine) ctx.drain();  // psync: op completes before next
+      const sim::Time end = ctx.now();
+      if (st->op_start >= window_start && end <= window_end) {
+        ++st->ops;
+        st->bytes += job.block_size;
+        st->latency.record(end - st->op_start);
+      }
+      return true;
+    });
+  }
+  sched.run();
+
+  Result r;
+  for (auto& st : states) {
+    r.ops += st.ops;
+    r.bytes += st.bytes;
+    r.latency.merge(st.latency);
+  }
+  r.bandwidth_gbps = sim::gbps(r.bytes, job.runtime);
+  return r;
+}
+
+}  // namespace xp::fio

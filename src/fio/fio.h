@@ -1,0 +1,43 @@
+// FIO-style workload generator over the FileSystem interface (paper Fig 17).
+//
+// Each job is one simulated thread with a private file (FIO's default
+// file-per-job). Supports the four classic patterns (seq/rand x
+// read/write) and two engines: `sync` (psync: one op at a time, fsync per
+// write) and `async` (libaio-style: no per-op fsync, deeper device
+// pipelining per thread).
+#pragma once
+
+#include <cstdint>
+
+#include "novafs/vfs.h"
+#include "sim/histogram.h"
+
+namespace xp::fio {
+
+enum class Rw { kSeqRead, kRandRead, kSeqWrite, kRandWrite };
+
+struct Job {
+  Rw rw = Rw::kSeqWrite;
+  std::size_t block_size = 4096;
+  std::uint64_t file_size = 16 << 20;
+  unsigned numjobs = 1;
+  bool sync_engine = true;   // psync (fsync per write) vs libaio
+  unsigned iodepth = 1;      // async engine pipelining (thread MLP boost)
+  sim::Time runtime = sim::ms(2);
+  sim::Time warmup = sim::us(50);
+  std::uint64_t seed = 7;
+};
+
+struct Result {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  double bandwidth_gbps = 0.0;
+  sim::Histogram latency;
+};
+
+// Pre-creates (and for reads pre-fills) one file per job, then runs the
+// measurement window. `platform` is needed to reset reservation state
+// after the untimed setup phase.
+Result run(hw::Platform& platform, nova::FileSystem& fs, const Job& job);
+
+}  // namespace xp::fio

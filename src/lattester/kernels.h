@@ -1,0 +1,36 @@
+// Targeted LATTester kernels that don't fit the generic sweep runner.
+#pragma once
+
+#include <cstdint>
+
+#include "xpsim/platform.h"
+
+namespace xp::lat {
+
+// Paper Fig 10: infer the XPBuffer capacity. Allocates a region of N
+// XPLines; each round updates the first half (128 B) of every line in
+// turn, then the second half of every line. If the region fits in the
+// XPBuffer the second-half updates coalesce and write amplification stays
+// ~1; beyond the buffer capacity the first halves get evicted partially
+// dirty and amplification jumps toward 2.
+//
+// Returns the measured write amplification (media bytes / iMC bytes) over
+// `rounds` rounds (the first round is warmup and not measured).
+double xpbuffer_write_amp_probe(hw::Platform& platform,
+                                hw::PmemNamespace& ns,
+                                std::uint64_t region_bytes, int rounds = 4);
+
+// Measure idle latency (paper Fig 2 methodology): single thread, MLP of 1,
+// a fence between consecutive operations. Returns mean latency in ns.
+struct IdleLatency {
+  double read_seq_ns;
+  double read_rand_ns;
+  double write_nt_ns;
+  double write_clwb_ns;
+};
+// `region_bytes` should be much larger than the LLC so repeat accesses
+// don't hit the CPU cache during the run.
+IdleLatency idle_latency(hw::Platform& platform, hw::PmemNamespace& ns,
+                         std::uint64_t region_bytes = 256 << 20);
+
+}  // namespace xp::lat

@@ -1,0 +1,31 @@
+// LATTester execution engine: runs a WorkloadSpec against a namespace.
+#pragma once
+
+#include <cstdint>
+
+#include "lattester/spec.h"
+#include "sim/histogram.h"
+#include "xpsim/platform.h"
+
+namespace xp::lat {
+
+struct Result {
+  std::uint64_t ops = 0;            // accesses completed in the window
+  std::uint64_t bytes = 0;          // application bytes in the window
+  sim::Time window = 0;             // measured duration
+  double bandwidth_gbps = 0.0;      // bytes / window
+  sim::Histogram latency;           // per-access latency (ps)
+  hw::XpCounters xp_delta;          // DIMM counters over the whole run
+  double ewr = 1.0;                 // from xp_delta
+
+  double avg_latency_ns() const { return latency.mean() / 1e3; }
+  double p_ns(double q) const {
+    return sim::to_ns(latency.percentile(q));
+  }
+};
+
+// Run the workload on `ns`. Deterministic for a given spec.seed.
+Result run(hw::Platform& platform, hw::PmemNamespace& ns,
+           const WorkloadSpec& spec);
+
+}  // namespace xp::lat

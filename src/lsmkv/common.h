@@ -1,0 +1,50 @@
+// Shared types for the mini-RocksDB LSM key-value store (paper §4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simtime.h"
+
+namespace xp::kv {
+
+// Which write-ahead-log strategy the store uses — the three candidates
+// compared in the paper's Fig 8 (from Xu et al. [59]):
+enum class WalMode {
+  kPosix,  // WAL appended through a POSIX file (syscall + fsync costs)
+  kFlex,   // FLEX: WAL appended to mapped pmem with ntstore, no syscalls
+  kNone,   // no WAL: the memtable itself is persistent
+};
+
+enum class MemtableMode {
+  kVolatile,    // DRAM skiplist, rebuilt from the WAL on recovery
+  kPersistent,  // fine-grained persistent skiplist in pmem
+};
+
+struct DbOptions {
+  WalMode wal = WalMode::kFlex;
+  MemtableMode memtable = MemtableMode::kVolatile;
+  bool sync_every_op = true;            // db_bench --sync
+  std::size_t memtable_bytes = 4 << 20; // flush threshold
+  unsigned l0_compaction_trigger = 4;   // L0 tables before compaction
+  std::uint64_t wal_capacity = 64 << 20;
+
+  // CPU-side costs (simulated time) for work that doesn't touch the
+  // memory system model: DRAM-structure operations and syscalls.
+  sim::Time cpu_memtable_op = sim::ns(250);
+  sim::Time syscall = sim::ns(450);
+  sim::Time fsync_syscall = sim::ns(700);
+};
+
+struct DbStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t memtable_flushes = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t sst_bytes_written = 0;
+};
+
+}  // namespace xp::kv

@@ -1,0 +1,268 @@
+#include "lsmkv/db.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "pmemlib/pmem_ops.h"
+
+namespace xp::kv {
+
+Db::Manifest Db::load_manifest(sim::ThreadCtx& ctx) {
+  return pool_.ns().load_pod<Manifest>(ctx, root_off_);
+}
+
+void Db::store_manifest(sim::ThreadCtx& ctx, pmem::Tx& tx,
+                        const Manifest& m) {
+  tx.add(root_off_, sizeof(Manifest));
+  tx.store(root_off_, std::span<const std::uint8_t>(
+                          reinterpret_cast<const std::uint8_t*>(&m),
+                          sizeof(m)));
+  (void)ctx;
+}
+
+void Db::create(sim::ThreadCtx& ctx) {
+  // A volatile memtable needs a WAL for durability; a persistent memtable
+  // needs none.
+  assert((opts_.wal == WalMode::kNone) ==
+         (opts_.memtable == MemtableMode::kPersistent));
+  pool_.create(ctx, sizeof(Manifest));
+  root_off_ = pool_.root(ctx);
+
+  Manifest m{};
+  m.wal_mode = static_cast<std::uint32_t>(opts_.wal);
+  m.memtable_mode = static_cast<std::uint32_t>(opts_.memtable);
+  if (opts_.wal != WalMode::kNone) {
+    m.wal_base = pool_.alloc_raw(ctx, opts_.wal_capacity);
+    m.wal_capacity = opts_.wal_capacity;
+  }
+  if (opts_.memtable == MemtableMode::kPersistent) {
+    m.pskiplist_root = pool_.alloc_raw(ctx, 64);
+  }
+  pmem::store_persist_pod(ctx, pool_.ns(), root_off_, m);
+
+  if (opts_.wal != WalMode::kNone) {
+    wal_ = std::make_unique<Wal>(pool_.ns(), m.wal_base, m.wal_capacity,
+                                 opts_.wal, opts_);
+    wal_->truncate(ctx);
+  }
+  if (opts_.memtable == MemtableMode::kPersistent) {
+    pskip_ = std::make_unique<PSkiplist>(pool_, m.pskiplist_root);
+    pskip_->create(ctx);
+  }
+}
+
+bool Db::open(sim::ThreadCtx& ctx) {
+  if (!pool_.open(ctx)) return false;
+  root_off_ = pool_.root(ctx);
+  const Manifest m = load_manifest(ctx);
+  opts_.wal = static_cast<WalMode>(m.wal_mode);
+  opts_.memtable = static_cast<MemtableMode>(m.memtable_mode);
+
+  memtable_.clear();
+  if (opts_.wal != WalMode::kNone) {
+    wal_ = std::make_unique<Wal>(pool_.ns(), m.wal_base, m.wal_capacity,
+                                 opts_.wal, opts_);
+    wal_->replay(ctx, [&](std::string_view k, std::string_view v, bool tomb) {
+      memtable_.put(ctx, k, v, tomb);
+    });
+  }
+  if (opts_.memtable == MemtableMode::kPersistent) {
+    pskip_ = std::make_unique<PSkiplist>(pool_, m.pskiplist_root);
+    pskip_->open(ctx);
+    pskip_bytes_ = pskip_->footprint(ctx).bytes;
+  }
+  return true;
+}
+
+void Db::write_record(sim::ThreadCtx& ctx, std::string_view key,
+                      std::string_view value, bool tombstone) {
+  if (opts_.memtable == MemtableMode::kPersistent) {
+    pskip_->put(ctx, key, value, tombstone);
+    pskip_bytes_ += key.size() + value.size();
+  } else {
+    wal_->append(ctx, key, value, tombstone, opts_.sync_every_op);
+    memtable_.put(ctx, key, value, tombstone);
+  }
+  maybe_flush(ctx);
+}
+
+void Db::put(sim::ThreadCtx& ctx, std::string_view key,
+             std::string_view value) {
+  ++stats_.puts;
+  write_record(ctx, key, value, /*tombstone=*/false);
+}
+
+void Db::del(sim::ThreadCtx& ctx, std::string_view key) {
+  ++stats_.deletes;
+  write_record(ctx, key, {}, /*tombstone=*/true);
+}
+
+bool Db::get(sim::ThreadCtx& ctx, std::string_view key, std::string* value) {
+  ++stats_.gets;
+  FindResult r = opts_.memtable == MemtableMode::kPersistent
+                     ? pskip_->get(ctx, key, value)
+                     : memtable_.get(ctx, key, value);
+  if (r == FindResult::kFound) {
+    ++stats_.get_hits;
+    return true;
+  }
+  if (r == FindResult::kTombstone) return false;
+
+  const Manifest m = load_manifest(ctx);
+  // L0: newest (highest index) first.
+  for (std::uint32_t i = m.n_l0; i-- > 0;) {
+    r = SsTable::get(ctx, pool_.ns(), m.l0[i].off, key, value);
+    if (r == FindResult::kFound) {
+      ++stats_.get_hits;
+      return true;
+    }
+    if (r == FindResult::kTombstone) return false;
+  }
+  for (std::uint32_t i = m.n_l1; i-- > 0;) {
+    r = SsTable::get(ctx, pool_.ns(), m.l1[i].off, key, value);
+    if (r == FindResult::kFound) {
+      ++stats_.get_hits;
+      return true;
+    }
+    if (r == FindResult::kTombstone) return false;
+  }
+  return false;
+}
+
+std::vector<std::pair<std::string, std::string>> Db::scan(
+    sim::ThreadCtx& ctx, std::string_view start_key,
+    std::size_t max_results) {
+  // Newest source first; the first version of each key wins.
+  struct Version {
+    std::string value;
+    bool tombstone;
+  };
+  std::map<std::string, Version> merged;
+  auto absorb = [&](std::string_view k, std::string_view v, bool tomb) {
+    if (k < start_key) return;
+    merged.try_emplace(std::string(k), Version{std::string(v), tomb});
+  };
+
+  if (opts_.memtable == MemtableMode::kPersistent) {
+    pskip_->for_each(ctx, absorb);
+  } else {
+    memtable_.for_each([&](std::string_view k, std::string_view v,
+                           bool tomb) { absorb(k, v, tomb); });
+    ctx.advance_by(opts_.cpu_memtable_op);
+  }
+  const Manifest m = load_manifest(ctx);
+  for (std::uint32_t i = m.n_l0; i-- > 0;)
+    SsTable::for_each(ctx, pool_.ns(), m.l0[i].off, absorb);
+  for (std::uint32_t i = m.n_l1; i-- > 0;)
+    SsTable::for_each(ctx, pool_.ns(), m.l1[i].off, absorb);
+
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto& [k, ver] : merged) {
+    if (out.size() >= max_results) break;
+    if (!ver.tombstone) out.emplace_back(k, std::move(ver.value));
+  }
+  return out;
+}
+
+void Db::maybe_flush(sim::ThreadCtx& ctx) {
+  const std::uint64_t bytes = opts_.memtable == MemtableMode::kPersistent
+                                  ? pskip_bytes_
+                                  : memtable_.bytes();
+  if (bytes >= opts_.memtable_bytes) flush(ctx);
+}
+
+void Db::flush(sim::ThreadCtx& ctx) {
+  std::vector<SsTable::Entry> entries;
+  if (opts_.memtable == MemtableMode::kPersistent) {
+    if (pskip_bytes_ == 0) return;
+    pskip_->for_each(ctx, [&](std::string_view k, std::string_view v,
+                              bool tomb) {
+      entries.push_back({std::string(k), std::string(v), tomb});
+    });
+  } else {
+    if (memtable_.empty()) return;
+    memtable_.for_each([&](std::string_view k, std::string_view v,
+                           bool tomb) {
+      entries.push_back({std::string(k), std::string(v), tomb});
+    });
+  }
+  ++stats_.memtable_flushes;
+
+  Manifest m = load_manifest(ctx);
+  assert(m.n_l0 < kMaxL0);
+  {
+    pmem::Tx tx(pool_, ctx);
+    const std::uint64_t size = SsTable::encoded_size(entries);
+    const std::uint64_t off = pool_.tx_alloc(tx, size);
+    SsTable::build(ctx, pool_.ns(), off, entries);
+    stats_.sst_bytes_written += size;
+
+    m.l0[m.n_l0++] = TableRef{off, size};
+    if (opts_.memtable == MemtableMode::kPersistent) {
+      // Start a fresh persistent memtable: new head slot, old nodes are
+      // reclaimed wholesale (arena-style) by a full compaction. The new
+      // head is initialized before commit so a post-commit crash never
+      // exposes an uninitialized root.
+      const std::uint64_t new_root = pool_.tx_alloc(tx, 64);
+      m.pskiplist_root = new_root;
+      store_manifest(ctx, tx, m);
+      pskip_ = std::make_unique<PSkiplist>(pool_, new_root);
+      pskip_->create(ctx);
+    } else {
+      store_manifest(ctx, tx, m);
+    }
+    tx.commit();
+  }
+
+  if (opts_.memtable == MemtableMode::kPersistent) {
+    pskip_bytes_ = 0;
+  } else {
+    memtable_.clear();
+    wal_->truncate(ctx);
+  }
+
+  if (m.n_l0 >= opts_.l0_compaction_trigger) compact(ctx, m);
+}
+
+void Db::compact(sim::ThreadCtx& ctx, Manifest m) {
+  ++stats_.compactions;
+  // Merge all runs, newest first winning; drop tombstones (full merge).
+  std::map<std::string, SsTable::Entry> merged;
+  auto absorb = [&](std::uint64_t off) {
+    SsTable::for_each(ctx, pool_.ns(), off,
+                      [&](std::string_view k, std::string_view v, bool tomb) {
+                        merged.try_emplace(std::string(k),
+                                           SsTable::Entry{std::string(k),
+                                                          std::string(v),
+                                                          tomb});
+                      });
+  };
+  for (std::uint32_t i = m.n_l0; i-- > 0;) absorb(m.l0[i].off);
+  for (std::uint32_t i = m.n_l1; i-- > 0;) absorb(m.l1[i].off);
+
+  std::vector<SsTable::Entry> entries;
+  entries.reserve(merged.size());
+  for (auto& [k, e] : merged)
+    if (!e.tombstone) entries.push_back(std::move(e));
+
+  pmem::Tx tx(pool_, ctx);
+  Manifest out = m;
+  for (std::uint32_t i = 0; i < m.n_l0; ++i)
+    pool_.tx_free(tx, m.l0[i].off, m.l0[i].size);
+  for (std::uint32_t i = 0; i < m.n_l1; ++i)
+    pool_.tx_free(tx, m.l1[i].off, m.l1[i].size);
+  out.n_l0 = 0;
+  out.n_l1 = 0;
+  if (!entries.empty()) {
+    const std::uint64_t size = SsTable::encoded_size(entries);
+    const std::uint64_t off = pool_.tx_alloc(tx, size);
+    SsTable::build(ctx, pool_.ns(), off, entries);
+    stats_.sst_bytes_written += size;
+    out.l1[out.n_l1++] = TableRef{off, size};
+  }
+  store_manifest(ctx, tx, out);
+  tx.commit();
+}
+
+}  // namespace xp::kv

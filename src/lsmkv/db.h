@@ -1,0 +1,99 @@
+// Mini-RocksDB: a two-level LSM tree on persistent memory.
+//
+// Supports the three persistence strategies the paper compares (Fig 8):
+//   * WAL-POSIX + volatile memtable (stock RocksDB on a DAX file),
+//   * WAL-FLEX + volatile memtable (sequential user-space pmem log),
+//   * persistent skiplist memtable, no WAL (fine-grained persistence).
+//
+// Writes go to the memtable (+WAL); when the memtable exceeds the
+// threshold it is flushed to an L0 SSTable; when L0 fills up, all runs
+// are merge-compacted into a single L1 run. The manifest lives in the
+// pool root and is updated transactionally, so crash-recovery resumes
+// from a consistent table set plus WAL replay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lsmkv/common.h"
+#include "lsmkv/memtable.h"
+#include "lsmkv/pskiplist.h"
+#include "lsmkv/sstable.h"
+#include "lsmkv/wal.h"
+#include "pmemlib/pool.h"
+
+namespace xp::kv {
+
+class Db {
+ public:
+  static constexpr unsigned kMaxL0 = 16;
+  static constexpr unsigned kMaxL1 = 16;
+
+  Db(hw::PmemNamespace& ns, DbOptions opts)
+      : opts_(opts), pool_(ns), memtable_(opts_) {}
+
+  // Format a fresh database.
+  void create(sim::ThreadCtx& ctx);
+
+  // Open after a restart/crash: recovers the pool, reloads the manifest,
+  // replays the WAL (or re-adopts the persistent memtable). Returns false
+  // if the namespace holds no database.
+  bool open(sim::ThreadCtx& ctx);
+
+  void put(sim::ThreadCtx& ctx, std::string_view key, std::string_view value);
+  void del(sim::ThreadCtx& ctx, std::string_view key);
+  bool get(sim::ThreadCtx& ctx, std::string_view key, std::string* value);
+
+  // Force a memtable flush (normally automatic at memtable_bytes).
+  void flush(sim::ThreadCtx& ctx);
+
+  // Range scan: up to `max_results` live key/value pairs with
+  // key >= start_key, in key order, newest version winning and
+  // tombstones hidden. (Merges the memtable and every run; intended for
+  // moderate result counts.)
+  std::vector<std::pair<std::string, std::string>> scan(
+      sim::ThreadCtx& ctx, std::string_view start_key,
+      std::size_t max_results);
+
+  const DbStats& stats() const { return stats_; }
+  const DbOptions& options() const { return opts_; }
+  pmem::Pool& pool() { return pool_; }
+
+ private:
+  struct TableRef {
+    std::uint64_t off = 0;
+    std::uint64_t size = 0;
+  };
+  struct Manifest {
+    std::uint32_t wal_mode;
+    std::uint32_t memtable_mode;
+    std::uint64_t wal_base;
+    std::uint64_t wal_capacity;
+    std::uint64_t pskiplist_root;  // pool offset of the head pointer slot
+    std::uint32_t n_l0;
+    std::uint32_t n_l1;
+    TableRef l0[kMaxL0];  // oldest first
+    TableRef l1[kMaxL1];
+  };
+
+  void write_record(sim::ThreadCtx& ctx, std::string_view key,
+                    std::string_view value, bool tombstone);
+  void maybe_flush(sim::ThreadCtx& ctx);
+  void compact(sim::ThreadCtx& ctx, Manifest m);
+  Manifest load_manifest(sim::ThreadCtx& ctx);
+  void store_manifest(sim::ThreadCtx& ctx, pmem::Tx& tx, const Manifest& m);
+
+  DbOptions opts_;
+  pmem::Pool pool_;
+  Memtable memtable_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<PSkiplist> pskip_;
+  std::uint64_t root_off_ = 0;
+  std::uint64_t pskip_bytes_ = 0;  // approximate, rebuilt on open
+  DbStats stats_;
+};
+
+}  // namespace xp::kv

@@ -1,0 +1,68 @@
+// Volatile (DRAM) memtable: RocksDB's default design, rebuilt from the
+// WAL on recovery. Host-side data structure; each operation charges a
+// fixed CPU cost in simulated time (it does not touch the modeled
+// persistent-memory system — that's the whole point of the design).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "lsmkv/common.h"
+#include "sim/scheduler.h"
+
+namespace xp::kv {
+
+enum class FindResult { kFound, kTombstone, kNotFound };
+
+class Memtable {
+ public:
+  explicit Memtable(const DbOptions& opts) : opts_(opts) {}
+
+  void put(sim::ThreadCtx& ctx, std::string_view key, std::string_view value,
+           bool tombstone) {
+    ctx.advance_by(opts_.cpu_memtable_op);
+    auto [it, inserted] =
+        map_.insert_or_assign(std::string(key),
+                              Value{std::string(value), tombstone});
+    if (inserted) bytes_ += key.size();
+    bytes_ += value.size();
+  }
+
+  FindResult get(sim::ThreadCtx& ctx, std::string_view key,
+                 std::string* value) const {
+    ctx.advance_by(opts_.cpu_memtable_op);
+    auto it = map_.find(std::string(key));
+    if (it == map_.end()) return FindResult::kNotFound;
+    if (it->second.tombstone) return FindResult::kTombstone;
+    if (value != nullptr) *value = it->second.data;
+    return FindResult::kFound;
+  }
+
+  std::size_t bytes() const { return bytes_; }
+  std::size_t entries() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  // Sorted iteration: fn(key, value, tombstone).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [k, v] : map_) fn(k, v.data, v.tombstone);
+  }
+
+  void clear() {
+    map_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  struct Value {
+    std::string data;
+    bool tombstone;
+  };
+  const DbOptions& opts_;
+  std::map<std::string, Value, std::less<>> map_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace xp::kv

@@ -1,0 +1,143 @@
+#include "lsmkv/sstable.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "lsmkv/bloom.h"
+
+namespace xp::kv {
+
+std::uint64_t SsTable::encoded_size(const std::vector<Entry>& entries) {
+  BloomBuilder bloom(entries.size());
+  std::uint64_t size =
+      sizeof(Header) + bloom.bits().size() + entries.size() * 4;
+  for (const Entry& e : entries) size += 8 + e.key.size() + e.value.size();
+  return size;
+}
+
+std::uint64_t SsTable::build(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                             std::uint64_t off,
+                             const std::vector<Entry>& entries) {
+  const std::uint64_t total = encoded_size(entries);
+  std::vector<std::uint8_t> buf(total);
+
+  BloomBuilder bloom(entries.size());
+  for (const Entry& e : entries) bloom.add(e.key);
+
+  Header h{kMagic, static_cast<std::uint32_t>(entries.size()),
+           static_cast<std::uint32_t>(total),
+           static_cast<std::uint32_t>(bloom.bits().size()), 0};
+  std::memcpy(buf.data(), &h, sizeof(h));
+  std::memcpy(buf.data() + sizeof(Header), bloom.bits().data(),
+              bloom.bits().size());
+
+  const std::size_t offsets_at = sizeof(Header) + bloom.bits().size();
+  const std::size_t data_at = offsets_at + entries.size() * 4;
+  std::size_t pos = data_at;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    const auto rel = static_cast<std::uint32_t>(pos - data_at);
+    std::memcpy(buf.data() + offsets_at + i * 4, &rel, 4);
+    const auto klen = static_cast<std::uint32_t>(e.key.size());
+    const std::uint32_t vlen = static_cast<std::uint32_t>(e.value.size()) |
+                               (e.tombstone ? kTombstoneBit : 0);
+    std::memcpy(buf.data() + pos, &klen, 4);
+    std::memcpy(buf.data() + pos + 4, &vlen, 4);
+    std::memcpy(buf.data() + pos + 8, e.key.data(), e.key.size());
+    std::memcpy(buf.data() + pos + 8 + e.key.size(), e.value.data(),
+                e.value.size());
+    pos += 8 + e.key.size() + e.value.size();
+  }
+  assert(pos == total);
+
+  // One big sequential non-temporal write (chunked to bound scheduler-step
+  // atomicity), then a fence.
+  constexpr std::size_t kChunk = 4096;
+  for (std::size_t p = 0; p < total; p += kChunk) {
+    const std::size_t n = std::min(kChunk, static_cast<std::size_t>(total) - p);
+    ns.ntstore(ctx, off + p,
+               std::span<const std::uint8_t>(buf.data() + p, n));
+  }
+  ns.sfence(ctx);
+  return total;
+}
+
+std::uint32_t SsTable::count(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                             std::uint64_t off) {
+  const auto h = ns.load_pod<Header>(ctx, off);
+  return h.magic == kMagic ? h.count : 0;
+}
+
+std::uint64_t SsTable::size_bytes(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                                  std::uint64_t off) {
+  const auto h = ns.load_pod<Header>(ctx, off);
+  return h.magic == kMagic ? h.total_bytes : 0;
+}
+
+FindResult SsTable::get(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                        std::uint64_t off, std::string_view key,
+                        std::string* value) {
+  const auto h = ns.load_pod<Header>(ctx, off);
+  assert(h.magic == kMagic);
+  // Bloom check first: absent keys skip the run with high probability.
+  std::vector<std::uint8_t> filter(h.filter_len);
+  if (h.filter_len > 0) ns.load(ctx, off + sizeof(Header), filter);
+  if (!BloomBuilder::may_contain(filter.data(), filter.size(), key))
+    return FindResult::kNotFound;
+  const std::uint64_t offsets_at = off + sizeof(Header) + h.filter_len;
+  const std::uint64_t data_at = offsets_at + h.count * 4;
+
+  std::uint32_t lo = 0, hi = h.count;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const auto rel = ns.load_pod<std::uint32_t>(ctx, offsets_at + mid * 4);
+    const auto klen = ns.load_pod<std::uint32_t>(ctx, data_at + rel);
+    std::string k(klen, '\0');
+    ns.load(ctx, data_at + rel + 8,
+            std::span<std::uint8_t>(
+                reinterpret_cast<std::uint8_t*>(k.data()), klen));
+    if (k < key) {
+      lo = mid + 1;
+    } else if (k > key) {
+      hi = mid;
+    } else {
+      const auto vraw = ns.load_pod<std::uint32_t>(ctx, data_at + rel + 4);
+      if (vraw & kTombstoneBit) return FindResult::kTombstone;
+      const std::uint32_t vlen = vraw & ~kTombstoneBit;
+      if (value != nullptr) {
+        value->resize(vlen);
+        ns.load(ctx, data_at + rel + 8 + klen,
+                std::span<std::uint8_t>(
+                    reinterpret_cast<std::uint8_t*>(value->data()), vlen));
+      }
+      return FindResult::kFound;
+    }
+  }
+  return FindResult::kNotFound;
+}
+
+void SsTable::for_each(
+    sim::ThreadCtx& ctx, hw::PmemNamespace& ns, std::uint64_t off,
+    const std::function<void(std::string_view, std::string_view, bool)>& fn) {
+  const auto h = ns.load_pod<Header>(ctx, off);
+  assert(h.magic == kMagic);
+  const std::uint64_t offsets_at = off + sizeof(Header) + h.filter_len;
+  const std::uint64_t data_at = offsets_at + h.count * 4;
+  for (std::uint32_t i = 0; i < h.count; ++i) {
+    const auto rel = ns.load_pod<std::uint32_t>(ctx, offsets_at + i * 4);
+    const auto klen = ns.load_pod<std::uint32_t>(ctx, data_at + rel);
+    const auto vraw = ns.load_pod<std::uint32_t>(ctx, data_at + rel + 4);
+    const std::uint32_t vlen = vraw & ~kTombstoneBit;
+    std::string k(klen, '\0');
+    std::string v(vlen, '\0');
+    ns.load(ctx, data_at + rel + 8,
+            std::span<std::uint8_t>(
+                reinterpret_cast<std::uint8_t*>(k.data()), klen));
+    ns.load(ctx, data_at + rel + 8 + klen,
+            std::span<std::uint8_t>(
+                reinterpret_cast<std::uint8_t*>(v.data()), vlen));
+    fn(k, v, (vraw & kTombstoneBit) != 0);
+  }
+}
+
+}  // namespace xp::kv

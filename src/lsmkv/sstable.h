@@ -1,0 +1,70 @@
+// Sorted string table: the immutable on-pmem run format.
+//
+// Layout at `off`:
+//   {u64 magic, u32 count, u32 total_bytes, u32 filter_len, u32 pad}
+//   bloom filter bytes (kv::BloomBuilder, ~10 bits/key)
+//   u32 entry_offsets[count]              (relative to the data area)
+//   entries: {u32 klen, u32 vlen|tomb, key bytes, value bytes}
+//
+// Built with a single large sequential non-temporal write (guideline #2);
+// point lookups consult the bloom filter first (absent keys skip the
+// whole run), then binary-search the offset array with timed loads,
+// giving realistic read amplification.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lsmkv/memtable.h"  // FindResult
+#include "xpsim/platform.h"
+
+namespace xp::kv {
+
+class SsTable {
+ public:
+  static constexpr std::uint64_t kMagic = 0x585053535441424cULL;
+
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool tombstone = false;
+  };
+
+  // Serialized size of `entries` (for allocation).
+  static std::uint64_t encoded_size(const std::vector<Entry>& entries);
+
+  // Serialize sorted `entries` to ns[off..]; returns bytes written.
+  static std::uint64_t build(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                             std::uint64_t off,
+                             const std::vector<Entry>& entries);
+
+  static FindResult get(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                        std::uint64_t off, std::string_view key,
+                        std::string* value);
+
+  static std::uint32_t count(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                             std::uint64_t off);
+  static std::uint64_t size_bytes(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                                  std::uint64_t off);
+
+  // Sorted iteration: fn(key, value, tombstone).
+  static void for_each(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                       std::uint64_t off,
+                       const std::function<void(std::string_view,
+                                                std::string_view, bool)>& fn);
+
+ private:
+  struct Header {
+    std::uint64_t magic;
+    std::uint32_t count;
+    std::uint32_t total_bytes;
+    std::uint32_t filter_len;
+    std::uint32_t pad;
+  };
+  static constexpr std::uint32_t kTombstoneBit = 0x80000000u;
+};
+
+}  // namespace xp::kv

@@ -1,0 +1,98 @@
+#include "lsmkv/wal.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace xp::kv {
+
+void Wal::write_bytes(ThreadCtx& ctx, std::uint64_t off,
+                      std::span<const std::uint8_t> data) {
+  if (mode_ == WalMode::kPosix) {
+    // Kernel write path: cached stores + flushes (the page-cache copy on
+    // a DAX fs goes through the CPU cache).
+    ns_.store_flush(ctx, off, data);
+  } else {
+    // FLEX: user-space non-temporal append.
+    ns_.ntstore(ctx, off, data);
+  }
+}
+
+void Wal::append(ThreadCtx& ctx, std::string_view key, std::string_view value,
+                 bool tombstone, bool sync_now) {
+  assert(key.size() < 0x10000);
+  const std::uint32_t tag =
+      kTagMagic | static_cast<std::uint32_t>(key.size());
+  const std::uint32_t vlen = static_cast<std::uint32_t>(value.size()) |
+                             (tombstone ? kTombstoneBit : 0);
+  const std::size_t rec_len = 8 + key.size() + value.size();
+  assert(tail_ + rec_len + 8 <= capacity_ && "WAL full; truncate first");
+
+  if (mode_ == WalMode::kPosix) ctx.advance_by(opts_.syscall);
+
+  // Payload first (vlen + key + value), then the tag makes it valid.
+  std::vector<std::uint8_t> buf(rec_len);
+  std::memcpy(buf.data(), &tag, 4);
+  std::memcpy(buf.data() + 4, &vlen, 4);
+  std::memcpy(buf.data() + 8, key.data(), key.size());
+  std::memcpy(buf.data() + 8 + key.size(), value.data(), value.size());
+
+  const std::uint64_t at = base_ + tail_;
+  // Terminator after the record, then payload, then the tag makes the
+  // record valid — so recovery can never run past the true tail into
+  // stale bytes from a previous log epoch.
+  const std::uint32_t zero = 0;
+  write_bytes(ctx, at + rec_len,
+              std::span<const std::uint8_t>(
+                  reinterpret_cast<const std::uint8_t*>(&zero), 4));
+  write_bytes(ctx, at + 4,
+              std::span<const std::uint8_t>(buf.data() + 4, rec_len - 4));
+  ns_.sfence(ctx);
+  write_bytes(ctx, at, std::span<const std::uint8_t>(buf.data(), 4));
+
+  tail_ += rec_len;
+  bytes_appended_ += rec_len;
+  if (sync_now) sync(ctx);
+}
+
+void Wal::sync(ThreadCtx& ctx) {
+  if (mode_ == WalMode::kPosix) ctx.advance_by(opts_.fsync_syscall);
+  ns_.sfence(ctx);
+}
+
+void Wal::truncate(ThreadCtx& ctx) {
+  const std::uint32_t zero = 0;
+  ns_.store_persist(ctx, base_,
+                    std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(&zero), 4));
+  tail_ = 0;
+}
+
+std::uint64_t Wal::replay(ThreadCtx& ctx, const ReplayFn& fn) {
+  std::uint64_t pos = 0;
+  std::uint64_t count = 0;
+  while (pos + 8 <= capacity_) {
+    const auto tag = ns_.load_pod<std::uint32_t>(ctx, base_ + pos);
+    if ((tag & 0xFFFF0000u) != kTagMagic) break;
+    const std::uint32_t klen = tag & 0xFFFFu;
+    const auto vraw = ns_.load_pod<std::uint32_t>(ctx, base_ + pos + 4);
+    const bool tombstone = (vraw & kTombstoneBit) != 0;
+    const std::uint32_t vlen = vraw & ~kTombstoneBit;
+    if (pos + 8 + klen + vlen > capacity_) break;
+    std::string key(klen, '\0');
+    std::string value(vlen, '\0');
+    ns_.load(ctx, base_ + pos + 8,
+             std::span<std::uint8_t>(
+                 reinterpret_cast<std::uint8_t*>(key.data()), klen));
+    ns_.load(ctx, base_ + pos + 8 + klen,
+             std::span<std::uint8_t>(
+                 reinterpret_cast<std::uint8_t*>(value.data()), vlen));
+    fn(key, value, tombstone);
+    pos += 8 + klen + vlen;
+    ++count;
+  }
+  tail_ = pos;
+  return count;
+}
+
+}  // namespace xp::kv

@@ -1,0 +1,74 @@
+// Write-ahead log with the two placement strategies from paper §4.2.
+//
+// kPosix models RocksDB's stock WAL on a DAX file system: every append is
+// a write() syscall (user/kernel crossing + a kernel-buffer copy done
+// with cached stores) and durability needs an fsync() syscall. kFlex
+// models the FLEX optimization [59]: the log file is mapped, appends are
+// user-space non-temporal stores, and durability is a single sfence.
+// Either way the log is strictly sequential — which is why it runs at
+// EWR ~1.0 on the XP DIMM and wins over fine-grained persistence there.
+//
+// Record format: [u32 tag | u32 vlen | key bytes | value bytes], where
+// tag = kTagMagic | klen (klen < 64 Ki). vlen's top bit marks tombstones.
+// The payload is persisted before the tag, so a torn append is invisible
+// to recovery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "lsmkv/common.h"
+#include "xpsim/platform.h"
+
+namespace xp::kv {
+
+using hw::PmemNamespace;
+using sim::ThreadCtx;
+
+class Wal {
+ public:
+  static constexpr std::uint32_t kTagMagic = 0xA5A50000u;
+  static constexpr std::uint32_t kTombstoneBit = 0x80000000u;
+
+  // The WAL owns [base, base+capacity) of `ns`.
+  Wal(PmemNamespace& ns, std::uint64_t base, std::uint64_t capacity,
+      WalMode mode, const DbOptions& opts)
+      : ns_(ns), base_(base), capacity_(capacity), mode_(mode), opts_(opts) {}
+
+  // Append a record; durable when `sync` is true.
+  void append(ThreadCtx& ctx, std::string_view key, std::string_view value,
+              bool tombstone, bool sync);
+
+  // Make all prior appends durable.
+  void sync(ThreadCtx& ctx);
+
+  // Reset the log after a memtable flush (records before `tail_` become
+  // dead). Writes a fresh terminator at the start.
+  void truncate(ThreadCtx& ctx);
+
+  // Replay every intact record from the start, in order.
+  using ReplayFn = std::function<void(std::string_view key,
+                                      std::string_view value,
+                                      bool tombstone)>;
+  std::uint64_t replay(ThreadCtx& ctx, const ReplayFn& fn);
+
+  std::uint64_t tail() const { return tail_; }
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
+  WalMode mode() const { return mode_; }
+
+ private:
+  void write_bytes(ThreadCtx& ctx, std::uint64_t off,
+                   std::span<const std::uint8_t> data);
+
+  PmemNamespace& ns_;
+  std::uint64_t base_;
+  std::uint64_t capacity_;
+  WalMode mode_;
+  const DbOptions& opts_;
+  std::uint64_t tail_ = 0;  // next append offset, relative to base_
+  std::uint64_t bytes_appended_ = 0;
+};
+
+}  // namespace xp::kv

@@ -1,0 +1,560 @@
+#include "novafs/novafs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "pmemlib/pmem_ops.h"
+
+namespace xp::nova {
+
+namespace {
+std::span<const std::uint8_t> bytes_of(const void* p, std::size_t n) {
+  return {static_cast<const std::uint8_t*>(p), n};
+}
+constexpr std::uint64_t kPage = NovaFs::kPageSize;
+}  // namespace
+
+// ---------------------------------------------------------- format/mount --
+
+void NovaFs::format(ThreadCtx& ctx) {
+  data_start_ = 4096 + kMaxInodes * sizeof(PInode);
+  data_start_ = (data_start_ + kPage - 1) / kPage * kPage;
+
+  // Zero the inode table, then write the superblock last.
+  std::vector<std::uint8_t> zeros(kMaxInodes * sizeof(PInode), 0);
+  for (std::size_t p = 0; p < zeros.size(); p += 4096) {
+    ns_.ntstore(ctx, 4096 + p,
+                std::span<const std::uint8_t>(
+                    zeros.data() + p, std::min<std::size_t>(
+                                          4096, zeros.size() - p)));
+  }
+  ns_.sfence(ctx);
+  Super s{kMagic, ns_.size(), 4096, data_start_};
+  ns_.ntstore_persist(ctx, 0, bytes_of(&s, sizeof(s)));
+
+  // DRAM state.
+  inodes_.assign(kMaxInodes, DInode{});
+  namei_.clear();
+  free_pages_.clear();
+  free_by_channel_.assign(6, {});
+  for (std::uint64_t off = data_start_; off + kPage <= ns_.size();
+       off += kPage)
+    free_page(off);
+
+  // Inode 0 is the root directory.
+  PInode root{};
+  root.in_use = 1;
+  ns_.store_persist(ctx, inode_off(0), bytes_of(&root, sizeof(root)));
+  inodes_[0].in_use = true;
+}
+
+bool NovaFs::mount(ThreadCtx& ctx) {
+  const auto s = ns_.load_pod<Super>(ctx, 0);
+  if (s.magic != kMagic || s.fs_size != ns_.size()) return false;
+  data_start_ = s.data_start;
+
+  inodes_.assign(kMaxInodes, DInode{});
+  namei_.clear();
+  free_pages_.clear();
+  free_by_channel_.assign(6, {});
+
+  // Pass 1: replay every in-use inode's log (rebuilds page maps, sizes,
+  // and the directory).
+  std::vector<bool> page_used((ns_.size() - data_start_) / kPage, false);
+  for (unsigned ino = 0; ino < kMaxInodes; ++ino) {
+    const auto pi = ns_.load_pod<PInode>(ctx, inode_off(ino));
+    if (pi.in_use == 0) continue;
+    DInode& di = inodes_[ino];
+    di.in_use = true;
+    di.log_head = pi.log_head;
+    di.log_tail = pi.log_tail;
+    replay_inode(ctx, ino);
+    // Mark pages referenced by this inode as used.
+    auto mark = [&](std::uint64_t off) {
+      if (off >= data_start_) page_used[(off - data_start_) / kPage] = true;
+    };
+    for (const auto& [idx, ps] : di.pages) {
+      if (ps.page_off != 0) mark(ps.page_off);
+      for (const Embed& e : ps.overlays) mark(e.data_off / kPage * kPage);
+    }
+    for (std::uint64_t lp = di.log_head; lp != 0;) {
+      mark(lp);
+      lp = ns_.load_pod<std::uint64_t>(ctx, lp);
+    }
+  }
+  // Pass 2: rebuild the free-page pool.
+  for (std::size_t i = page_used.size(); i-- > 0;) {
+    if (!page_used[i]) free_page(data_start_ + i * kPage);
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- allocator --
+
+std::uint64_t NovaFs::alloc_page(ThreadCtx& ctx) {
+  if (opt_.alloc == AllocPolicy::kPinned) {
+    auto& mine = free_by_channel_[ctx.id() % free_by_channel_.size()];
+    if (!mine.empty()) {
+      const std::uint64_t off = mine.back();
+      mine.pop_back();
+      return off;
+    }
+    // Fall back to any channel.
+    for (auto& list : free_by_channel_) {
+      if (!list.empty()) {
+        const std::uint64_t off = list.back();
+        list.pop_back();
+        return off;
+      }
+    }
+    assert(false && "NovaFs out of pages");
+    return 0;
+  }
+  assert(!free_pages_.empty() && "NovaFs out of pages");
+  const std::uint64_t off = free_pages_.back();
+  free_pages_.pop_back();
+  return off;
+}
+
+void NovaFs::free_page(std::uint64_t off) {
+  if (opt_.alloc == AllocPolicy::kPinned) {
+    const unsigned channel = ns_.decode(off).channel;
+    free_by_channel_[channel % free_by_channel_.size()].push_back(off);
+  } else {
+    free_pages_.push_back(off);
+  }
+}
+
+// -------------------------------------------------------------- log ------
+
+std::uint64_t NovaFs::log_append(ThreadCtx& ctx, unsigned ino,
+                                 const LogEntry& e,
+                                 std::span<const std::uint8_t> payload) {
+  DInode& di = inodes_[ino];
+  const std::uint32_t total = e.total_len;
+  assert(total == ((sizeof(LogEntry) + payload.size() + 7) / 8) * 8);
+  assert(total + kLogDataStart + 8 <= kPage && "entry too large for a page");
+
+  auto page_end = [&](std::uint64_t pos) {
+    return pos / kPage * kPage + kPage;
+  };
+
+  if (di.log_head == 0 ||
+      di.log_tail + total + 8 > page_end(di.log_tail)) {
+    // Allocate and link a fresh log page.
+    const std::uint64_t np = alloc_page(ctx);
+    const std::uint64_t zero = 0;
+    ns_.store_flush(ctx, np, bytes_of(&zero, 8));  // next = 0
+    // Clear the first entry slot so stale bytes can't look like a record.
+    ns_.store_flush(ctx, np + kLogDataStart, bytes_of(&zero, 4));
+    ns_.sfence(ctx);
+    if (di.log_head == 0) {
+      di.log_head = np;
+      if (!suppress_head_persist_) {
+        pmem::store_persist_pod(ctx, ns_,
+                                inode_off(ino) + offsetof(PInode, log_head),
+                                np);
+      }
+    } else {
+      // End-of-page marker, then link from the old page.
+      const std::uint32_t eop = kEntryMagic | kEndOfPage;
+      ns_.store_persist(ctx, di.log_tail, bytes_of(&eop, 4));
+      const std::uint64_t old_page = di.log_tail / kPage * kPage;
+      pmem::store_persist_pod(ctx, ns_, old_page, np);
+    }
+    di.log_tail = np + kLogDataStart;
+    ++di.log_page_count;
+  }
+
+  const std::uint64_t at = di.log_tail;
+  // Commit protocol: terminator after the record and the record body are
+  // persisted first; the entry's magic word (its first 4 bytes) last.
+  // Replay scans entries until an invalid magic, so a torn append is
+  // invisible and no stale bytes can be mistaken for a live entry.
+  std::vector<std::uint8_t> buf(total, 0);
+  std::memcpy(buf.data(), &e, sizeof(e));
+  if (!payload.empty())
+    std::memcpy(buf.data() + sizeof(e), payload.data(), payload.size());
+  const std::uint32_t zero = 0;
+  ns_.store_flush(ctx, at + total, bytes_of(&zero, 4));
+  ns_.store_flush(ctx, at + 4,
+                  std::span<const std::uint8_t>(buf.data() + 4, total - 4));
+  ns_.sfence(ctx);
+  ns_.store_flush(ctx, at, std::span<const std::uint8_t>(buf.data(), 4));
+  ns_.sfence(ctx);
+
+  di.log_tail = at + total;
+  // The persistent tail is a recovery *hint* (bounds the scan); the
+  // authoritative end of log is the first invalid magic.
+  pmem::store_persist_pod(ctx, ns_,
+                          inode_off(ino) + offsetof(PInode, log_tail),
+                          di.log_tail);
+  return at;
+}
+
+void NovaFs::replay_inode(ThreadCtx& ctx, unsigned ino) {
+  DInode& di = inodes_[ino];
+  if (di.log_head == 0) return;
+  di.log_page_count = 1;
+  std::uint64_t pos = di.log_head + kLogDataStart;
+  while (true) {
+    const auto e = ns_.load_pod<LogEntry>(ctx, pos);
+    if ((e.magic_type & 0xFFFF0000u) != kEntryMagic) break;  // end of log
+    const std::uint32_t type = e.magic_type & 0xFFFFu;
+    if (type == kEndOfPage) {
+      const std::uint64_t page = pos / kPage * kPage;
+      const auto next = ns_.load_pod<std::uint64_t>(ctx, page);
+      assert(next != 0);
+      pos = next + kLogDataStart;
+      ++di.log_page_count;
+      continue;
+    }
+    apply_entry(ctx, ino, pos, e, /*during_replay=*/true);
+    pos += e.total_len;
+  }
+  di.log_tail = pos;
+}
+
+void NovaFs::apply_entry(ThreadCtx& ctx, unsigned ino,
+                         std::uint64_t entry_off, const LogEntry& e,
+                         bool during_replay) {
+  DInode& di = inodes_[ino];
+  const std::uint32_t type = e.magic_type & 0xFFFFu;
+  switch (type) {
+    case kWrite: {
+      PageState& ps = di.pages[e.foff / kPage];
+      if (!during_replay && ps.page_off != 0) free_page(ps.page_off);
+      ps.page_off = e.page;
+      ps.overlays.clear();
+      di.size = std::max(di.size, e.new_size);
+      break;
+    }
+    case kEmbed: {
+      PageState& ps = di.pages[e.foff / kPage];
+      // The exact (unpadded) payload length rides in the `page` field,
+      // unused by embed entries.
+      ps.overlays.push_back(Embed{entry_off + sizeof(LogEntry),
+                                  static_cast<std::uint32_t>(e.foff % kPage),
+                                  static_cast<std::uint32_t>(e.page)});
+      di.size = std::max(di.size, e.new_size);
+      break;
+    }
+    case kDirent:
+    case kDirentDel: {
+      // Payload: u32 target_ino, u32 namelen, chars.
+      std::uint32_t meta[2];
+      ns_.load(ctx, entry_off + sizeof(LogEntry),
+               std::span<std::uint8_t>(
+                   reinterpret_cast<std::uint8_t*>(meta), 8));
+      std::string name(meta[1], '\0');
+      ns_.load(ctx, entry_off + sizeof(LogEntry) + 8,
+               std::span<std::uint8_t>(
+                   reinterpret_cast<std::uint8_t*>(name.data()), meta[1]));
+      if (type == kDirent) {
+        namei_[name] = static_cast<int>(meta[0]);
+        inodes_[meta[0]].in_use = true;
+      } else {
+        namei_.erase(name);
+        // Free the inode slot for reuse (its storage is reclaimed by the
+        // caller, or by mount's reachability scan after a crash).
+        if (during_replay) inodes_[meta[0]].in_use = false;
+      }
+      break;
+    }
+    case kSetSize: {
+      di.size = e.new_size;
+      // Forget whole pages past the new size (their data is dead).
+      const std::uint64_t first_dead = (e.new_size + kPage - 1) / kPage;
+      for (auto it = di.pages.begin(); it != di.pages.end();) {
+        if (it->first >= first_dead) {
+          if (!during_replay && it->second.page_off != 0)
+            free_page(it->second.page_off);
+          it = di.pages.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+    default:
+      assert(false && "corrupt log entry");
+  }
+}
+
+// ------------------------------------------------------------- file ops --
+
+int NovaFs::create(ThreadCtx& ctx, const std::string& name) {
+  ctx.advance_by(opt_.costs.open_syscall);
+  auto it = namei_.find(name);
+  if (it != namei_.end()) return it->second;
+  unsigned ino = 0;
+  for (unsigned i = 1; i < kMaxInodes; ++i) {
+    if (!inodes_[i].in_use) {
+      ino = i;
+      break;
+    }
+  }
+  if (ino == 0) return -1;
+
+  // Persist the inode, then the dirent in the directory log.
+  PInode pi{};
+  pi.in_use = 1;
+  ns_.store_persist(ctx, inode_off(ino), bytes_of(&pi, sizeof(pi)));
+  inodes_[ino].in_use = true;
+
+  append_dirent(ctx, kDirent, ino, name);
+  namei_[name] = static_cast<int>(ino);
+  return static_cast<int>(ino);
+}
+
+std::uint64_t NovaFs::append_dirent(ThreadCtx& ctx, EntryType type,
+                                    unsigned target_ino,
+                                    const std::string& name) {
+  std::vector<std::uint8_t> payload(8 + name.size());
+  const std::uint32_t meta[2] = {target_ino,
+                                 static_cast<std::uint32_t>(name.size())};
+  std::memcpy(payload.data(), meta, 8);
+  std::memcpy(payload.data() + 8, name.data(), name.size());
+  LogEntry e{};
+  e.magic_type = kEntryMagic | type;
+  e.total_len = static_cast<std::uint32_t>(
+      (sizeof(LogEntry) + payload.size() + 7) / 8 * 8);
+  return log_append(ctx, 0, e, payload);
+}
+
+void NovaFs::release_inode_storage(ThreadCtx& ctx, unsigned ino) {
+  DInode& di = inodes_[ino];
+  for (auto& [idx, ps] : di.pages)
+    if (ps.page_off != 0) free_page(ps.page_off);
+  for (std::uint64_t lp = di.log_head; lp != 0;) {
+    const auto next = ns_.load_pod<std::uint64_t>(ctx, lp);
+    free_page(lp);
+    lp = next;
+  }
+  di = DInode{};
+}
+
+bool NovaFs::unlink(ThreadCtx& ctx, const std::string& name) {
+  ctx.advance_by(opt_.costs.open_syscall);
+  auto it = namei_.find(name);
+  if (it == namei_.end()) return false;
+  const auto ino = static_cast<unsigned>(it->second);
+  // Commit point: the deletion dirent. Then the inode slot and its
+  // storage can be reclaimed (a crash in between leaks nothing: replay
+  // sees the deletion and mount's reachability scan frees the pages).
+  append_dirent(ctx, kDirentDel, ino, name);
+  PInode pi{};
+  ns_.store_persist(ctx, inode_off(ino), bytes_of(&pi, sizeof(pi)));
+  release_inode_storage(ctx, ino);
+  namei_.erase(it);
+  return true;
+}
+
+void NovaFs::truncate(ThreadCtx& ctx, int ino_s, std::uint64_t new_size) {
+  ctx.advance_by(opt_.costs.write_syscall);
+  const auto ino = static_cast<unsigned>(ino_s);
+  DInode& di = inodes_[ino];
+  if (new_size < di.size) {
+    // Zero the tail of the boundary page so a later extension reads
+    // zeros, then log the authoritative size.
+    const std::uint64_t boundary_page = new_size / kPage;
+    const std::size_t keep = static_cast<std::size_t>(new_size % kPage);
+    if (keep != 0 && di.pages.count(boundary_page) != 0) {
+      std::vector<std::uint8_t> zeros(kPage - keep, 0);
+      cow_page(ctx, ino, boundary_page, zeros, keep);
+    }
+  }
+  LogEntry e{};
+  e.magic_type = kEntryMagic | kSetSize;
+  e.total_len = sizeof(LogEntry);
+  e.new_size = new_size;
+  const std::uint64_t at = log_append(ctx, ino, e, {});
+  apply_entry(ctx, ino, at, e, /*during_replay=*/false);
+}
+
+int NovaFs::open(ThreadCtx& ctx, const std::string& name) {
+  ctx.advance_by(opt_.costs.open_syscall);
+  auto it = namei_.find(name);
+  return it == namei_.end() ? -1 : it->second;
+}
+
+void NovaFs::cow_page(ThreadCtx& ctx, unsigned ino, std::uint64_t page_idx,
+                      std::span<const std::uint8_t> seg,
+                      std::size_t seg_in_page) {
+  DInode& di = inodes_[ino];
+  std::vector<std::uint8_t> buf(kPage, 0);
+  // Base content + overlays (the read path's merge) — skipped when the
+  // new segment covers the whole page.
+  if (seg.size() < kPage) read_page(ctx, di, page_idx, 0, kPage, buf.data());
+  if (!seg.empty())
+    std::memcpy(buf.data() + seg_in_page, seg.data(), seg.size());
+
+  const std::uint64_t np = alloc_page(ctx);
+  ns_.ntstore(ctx, np, buf);
+  ns_.sfence(ctx);
+
+  LogEntry e{};
+  e.magic_type = kEntryMagic | kWrite;
+  e.total_len = sizeof(LogEntry);
+  e.foff = page_idx * kPage;
+  e.page = np;
+  e.new_size = std::max<std::uint64_t>(
+      di.size, seg.empty() ? di.size : page_idx * kPage + seg_in_page +
+                                           seg.size());
+  const std::uint64_t at = log_append(ctx, ino, e, {});
+  apply_entry(ctx, ino, at, e, /*during_replay=*/false);
+  di.size = std::max(di.size, e.new_size);
+}
+
+void NovaFs::write(ThreadCtx& ctx, int ino_s, std::uint64_t off,
+                   std::span<const std::uint8_t> data, bool charge_syscall) {
+  if (charge_syscall) ctx.advance_by(opt_.costs.write_syscall);
+  const auto ino = static_cast<unsigned>(ino_s);
+  DInode& di = inodes_[ino];
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t foff = off + pos;
+    const std::uint64_t page_idx = foff / kPage;
+    const std::size_t in_page = static_cast<std::size_t>(foff % kPage);
+    const std::size_t n =
+        std::min<std::size_t>(data.size() - pos, kPage - in_page);
+    const auto seg = data.subspan(pos, n);
+
+    // Embedded entries must fit in a log page (with header, padding and
+    // terminator); larger sub-page writes fall back to CoW.
+    constexpr std::size_t kEmbedMax = 3072;
+    if (opt_.datalog && n <= kEmbedMax && n < kPage) {
+      // Embedded write entry: data rides in the log (Fig 11).
+      LogEntry e{};
+      e.magic_type = kEntryMagic | kEmbed;
+      e.total_len = static_cast<std::uint32_t>(
+          (sizeof(LogEntry) + n + 7) / 8 * 8);
+      e.foff = foff;
+      e.page = n;  // exact payload length
+      e.new_size = std::max(di.size, foff + n);
+      const std::uint64_t at = log_append(ctx, ino, e, seg);
+      apply_entry(ctx, ino, at, e, /*during_replay=*/false);
+      di.size = std::max(di.size, e.new_size);
+      PageState& ps = di.pages[page_idx];
+      if (ps.overlays.size() >= opt_.merge_threshold) {
+        cow_page(ctx, ino, page_idx, {}, 0);  // merge overlays
+      }
+    } else {
+      cow_page(ctx, ino, page_idx, seg, in_page);
+    }
+    pos += n;
+  }
+  if (di.log_page_count > opt_.clean_threshold) clean_log(ctx, ino);
+}
+
+void NovaFs::read_page(ThreadCtx& ctx, DInode& di, std::uint64_t page_idx,
+                       std::size_t begin, std::size_t len,
+                       std::uint8_t* out) {
+  auto it = di.pages.find(page_idx);
+  if (it == di.pages.end()) {
+    std::memset(out, 0, len);
+    return;
+  }
+  const PageState& ps = it->second;
+  if (ps.page_off != 0) {
+    ns_.load(ctx, ps.page_off + begin, std::span<std::uint8_t>(out, len));
+  } else {
+    std::memset(out, 0, len);
+  }
+  // Apply embedded extents in log order (newest last).
+  for (const Embed& e : ps.overlays) {
+    const std::size_t e_begin = e.in_page;
+    const std::size_t e_end = e.in_page + e.len;
+    const std::size_t r_begin = std::max(begin, e_begin);
+    const std::size_t r_end = std::min(begin + len, e_end);
+    if (r_begin >= r_end) continue;
+    ns_.load(ctx, e.data_off + (r_begin - e_begin),
+             std::span<std::uint8_t>(out + (r_begin - begin),
+                                     r_end - r_begin));
+  }
+}
+
+std::size_t NovaFs::read(ThreadCtx& ctx, int ino_s, std::uint64_t off,
+                         std::span<std::uint8_t> out, bool charge_syscall) {
+  if (charge_syscall) ctx.advance_by(opt_.costs.read_syscall);
+  DInode& di = inodes_[static_cast<unsigned>(ino_s)];
+  if (off >= di.size) return 0;
+  const std::size_t len =
+      std::min<std::uint64_t>(out.size(), di.size - off);
+  std::size_t pos = 0;
+  while (pos < len) {
+    const std::uint64_t foff = off + pos;
+    const std::size_t in_page = static_cast<std::size_t>(foff % kPage);
+    const std::size_t n = std::min<std::size_t>(len - pos, kPage - in_page);
+    read_page(ctx, di, foff / kPage, in_page, n, out.data() + pos);
+    pos += n;
+  }
+  return len;
+}
+
+void NovaFs::fsync(ThreadCtx& ctx, int) {
+  // NOVA writes are synchronous by construction.
+  ctx.advance_by(opt_.costs.fsync_syscall);
+}
+
+std::uint64_t NovaFs::size(ThreadCtx& ctx, int ino) {
+  (void)ctx;
+  return inodes_[static_cast<unsigned>(ino)].size;
+}
+
+void NovaFs::clean_log(ThreadCtx& ctx, unsigned ino) {
+  // Log cleaner: merge overlays into pages (embedded data becomes dead),
+  // then rewrite the log as pure kWrite entries and free the old pages.
+  ++cleanings_;
+  DInode& di = inodes_[ino];
+  // Merge every page that still has live embedded data.
+  std::vector<std::uint64_t> to_merge;
+  for (const auto& [idx, ps] : di.pages)
+    if (!ps.overlays.empty()) to_merge.push_back(idx);
+  for (std::uint64_t idx : to_merge) cow_page(ctx, ino, idx, {}, 0);
+
+  // Collect the old log pages.
+  std::vector<std::uint64_t> old_pages;
+  for (std::uint64_t lp = di.log_head; lp != 0;) {
+    old_pages.push_back(lp);
+    lp = ns_.load_pod<std::uint64_t>(ctx, lp);
+  }
+
+  // Build the replacement log fully (entries persisted, head persist
+  // suppressed), then switch the inode's log_head atomically. A crash
+  // before the switch leaves the old log authoritative; the orphaned new
+  // chain is reclaimed by mount's reachability scan.
+  di.log_head = 0;
+  di.log_tail = 0;
+  di.log_page_count = 0;
+  suppress_head_persist_ = true;
+  for (const auto& [idx, ps] : di.pages) {
+    if (ps.page_off == 0) continue;
+    LogEntry e{};
+    e.magic_type = kEntryMagic | kWrite;
+    e.total_len = sizeof(LogEntry);
+    e.foff = idx * kPage;
+    e.page = ps.page_off;
+    e.new_size = di.size;
+    log_append(ctx, ino, e, {});
+  }
+  suppress_head_persist_ = false;
+  pmem::store_persist_pod(ctx, ns_,
+                          inode_off(ino) + offsetof(PInode, log_head),
+                          di.log_head);
+  for (std::uint64_t lp : old_pages) free_page(lp);
+}
+
+std::size_t NovaFs::log_pages(int ino) const {
+  return inodes_[static_cast<unsigned>(ino)].log_page_count;
+}
+
+std::size_t NovaFs::overlay_count(int ino) const {
+  std::size_t n = 0;
+  for (const auto& [idx, ps] : inodes_[static_cast<unsigned>(ino)].pages)
+    n += ps.overlays.size();
+  return n;
+}
+
+}  // namespace xp::nova

@@ -1,0 +1,98 @@
+// Mini-PMemKV "stree" engine: a persistent B+-tree in the FPTree style
+// (Oukid et al., SIGMOD'16 — cited by the paper's related work [45]).
+//
+// Hybrid SCM-DRAM design: only the *leaves* are persistent — a singly
+// linked list of fixed-capacity nodes with unsorted slots and a validity
+// bitmap — while the inner search structure lives in DRAM and is rebuilt
+// by walking the leaf chain on open. This shape is exactly what the
+// paper's guidelines favor on real Optane:
+//
+//  * the common-case insert is slot write + persist + one atomic 4-byte
+//    bitmap persist (no shifting, minimal small random writes);
+//  * value updates are out-of-place blob writes committed by one atomic
+//    8-byte pointer persist;
+//  * leaf splits, the only multi-word structural change, run inside a
+//    pmemlib undo-log transaction.
+//
+// Keys up to 31 bytes inline; values are pool-allocated blobs. Freed
+// blobs and crash-orphaned allocations are leaked (a real engine adds
+// epoch GC); tests bound the churn.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pmemlib/pool.h"
+
+namespace xp::pmemkv {
+
+class STree {
+ public:
+  static constexpr std::size_t kMaxKey = 31;
+  static constexpr unsigned kLeafSlots = 32;
+
+  explicit STree(pmem::Pool& pool) : pool_(pool) {}
+
+  // Root slot layout: {u64 first_leaf}.
+  void create(sim::ThreadCtx& ctx);
+  void open(sim::ThreadCtx& ctx);  // rebuilds the DRAM index
+
+  // Returns false (and does nothing) if the key exceeds kMaxKey.
+  bool put(sim::ThreadCtx& ctx, std::string_view key, std::string_view value);
+  bool get(sim::ThreadCtx& ctx, std::string_view key, std::string* value);
+  bool remove(sim::ThreadCtx& ctx, std::string_view key);
+
+  // In-order scan: up to max_results pairs with key >= start_key.
+  std::vector<std::pair<std::string, std::string>> scan(
+      sim::ThreadCtx& ctx, std::string_view start_key,
+      std::size_t max_results);
+
+  std::uint64_t count(sim::ThreadCtx& ctx);
+
+ private:
+  struct Slot {  // 40 bytes
+    std::uint8_t key_len;
+    char key[kMaxKey];
+    std::uint64_t val_off;  // -> {u32 len, bytes}
+  };
+  struct LeafHeader {  // 16 bytes; slots follow
+    std::uint64_t next;
+    std::uint32_t bitmap;  // bit i: slot i valid
+    std::uint32_t pad;
+  };
+  static constexpr std::uint64_t kLeafSize =
+      sizeof(LeafHeader) + kLeafSlots * sizeof(Slot);
+
+  static std::uint64_t slot_off(std::uint64_t leaf, unsigned i) {
+    return leaf + sizeof(LeafHeader) + i * sizeof(Slot);
+  }
+
+  LeafHeader read_header(sim::ThreadCtx& ctx, std::uint64_t leaf);
+  Slot read_slot(sim::ThreadCtx& ctx, std::uint64_t leaf, unsigned i);
+  std::string read_value(sim::ThreadCtx& ctx, std::uint64_t val_off);
+  std::uint64_t write_value_blob(sim::ThreadCtx& ctx, std::string_view v);
+
+  // Leaf that may contain `key` (via the DRAM index).
+  std::uint64_t find_leaf(std::string_view key) const;
+  // Slot index of `key` within the leaf, or -1.
+  int find_slot(sim::ThreadCtx& ctx, std::uint64_t leaf,
+                const LeafHeader& h, std::string_view key,
+                Slot* out = nullptr);
+
+  // Split `leaf` (full) into two; returns the leaf that should receive
+  // `key` afterward. Transactional.
+  std::uint64_t split_leaf(sim::ThreadCtx& ctx, std::uint64_t leaf,
+                           std::string_view key);
+
+  void index_leaf(sim::ThreadCtx& ctx, std::uint64_t leaf);
+
+  pmem::Pool& pool_;
+  std::uint64_t first_leaf_ = 0;
+  // DRAM inner index: smallest key in leaf -> leaf offset.
+  std::map<std::string, std::uint64_t> index_;
+};
+
+}  // namespace xp::pmemkv

@@ -1,0 +1,38 @@
+#include "pmemlib/microbuf.h"
+
+#include "pmemlib/pmem_ops.h"
+
+namespace xp::pmem {
+
+void MicroBuf::update(
+    ThreadCtx& ctx, std::uint64_t off, std::size_t size,
+    const std::function<void(std::span<std::uint8_t>)>& mutate) {
+  // Stage: object copy lives in DRAM (host memory); the loads from
+  // persistent memory are the timed part.
+  std::vector<std::uint8_t> staging(size);
+  pool_.ns().load(ctx, off, staging);
+
+  // Undo-log the object so a crash mid-write-back rolls back.
+  Tx tx(pool_, ctx);
+  tx.add(off, static_cast<std::uint32_t>(size));
+
+  mutate(staging);
+
+  // Write back the whole object with the configured instruction choice.
+  WriteHint hint = WriteHint::kAuto;
+  switch (mode_) {
+    case WriteBack::kNt:
+      hint = WriteHint::kNt;
+      break;
+    case WriteBack::kClwb:
+      hint = WriteHint::kCached;
+      break;
+    case WriteBack::kAdaptive:
+      hint = WriteHint::kAuto;
+      break;
+  }
+  memcpy_flush(ctx, pool_.ns(), off, staging, hint);
+  tx.commit();
+}
+
+}  // namespace xp::pmem

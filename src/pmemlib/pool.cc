@@ -1,0 +1,222 @@
+#include "pmemlib/pool.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace xp::pmem {
+
+// --------------------------------------------------------------- Pool ----
+
+void Pool::create(ThreadCtx& ctx, std::uint64_t root_size) {
+  assert(ns_.size() > kHeapBase + root_size + 4096);
+  Header h{};
+  h.magic = kMagic;
+  h.pool_size = ns_.size();
+  h.root_size = root_size;
+  h.heap_top = kHeapBase;
+  h.free_head = 0;
+
+  // Zero + idle all lanes first, then the header last: a crash mid-create
+  // leaves an invalid magic and open() reports no pool.
+  for (unsigned l = 0; l < kLanes; ++l) {
+    const std::uint64_t zero64[8] = {};
+    ns_.ntstore_persist(
+        ctx, lane_off(l),
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(zero64), 64));
+  }
+  // Root object: carve from the heap, zero it.
+  h.root_off = h.heap_top;
+  h.heap_top += (root_size + 63) / 64 * 64;
+  std::vector<std::uint8_t> zeros(root_size, 0);
+  if (root_size > 0) ns_.ntstore_persist(ctx, h.root_off, zeros);
+
+  store_persist_pod(ctx, ns_, 0, h);
+}
+
+bool Pool::open(ThreadCtx& ctx) {
+  const Header h = read_header(ctx);
+  if (h.magic != kMagic || h.pool_size != ns_.size()) return false;
+  for (unsigned l = 0; l < kLanes; ++l) recover_lane(ctx, l);
+  return true;
+}
+
+void Pool::recover_lane(ThreadCtx& ctx, unsigned lane) {
+  Tx::recover(*this, ctx, lane_off(lane));
+}
+
+std::uint64_t Pool::root(ThreadCtx& ctx) { return read_header(ctx).root_off; }
+
+std::uint64_t Pool::root_size(ThreadCtx& ctx) {
+  return read_header(ctx).root_size;
+}
+
+std::uint64_t Pool::heap_top(ThreadCtx& ctx) {
+  return read_header(ctx).heap_top;
+}
+
+std::uint64_t Pool::free_list_head(ThreadCtx& ctx) {
+  return read_header(ctx).free_head;
+}
+
+std::uint64_t Pool::tx_alloc(Tx& tx, std::uint64_t size) {
+  assert(tx.active());
+  ThreadCtx& ctx = tx.ctx_;
+  size = std::max<std::uint64_t>((size + 63) / 64 * 64, 64);
+
+  // First-fit walk of the free list.
+  Header h = read_header(ctx);
+  std::uint64_t prev = 0;  // 0 = head pointer in the header
+  std::uint64_t cur = h.free_head;
+  while (cur != 0) {
+    const FreeChunk chunk = ns_.load_pod<FreeChunk>(ctx, cur);
+    if (chunk.size >= size) {
+      // Unlink. (Exact fit or carve the tail; keep the head as the
+      // allocation so the remainder stays linked in place.)
+      if (chunk.size >= size + 64) {
+        const std::uint64_t rest = cur + size;
+        tx.add(rest, sizeof(FreeChunk));
+        FreeChunk rest_chunk{chunk.next, chunk.size - size};
+        tx.store(rest, std::span<const std::uint8_t>(
+                           reinterpret_cast<const std::uint8_t*>(&rest_chunk),
+                           sizeof(rest_chunk)));
+        relink(tx, prev, rest);
+      } else {
+        relink(tx, prev, chunk.next);
+      }
+      return cur;
+    }
+    prev = cur;
+    cur = chunk.next;
+  }
+
+  // Bump allocation.
+  assert(h.heap_top + size <= h.pool_size);
+  const std::uint64_t off = h.heap_top;
+  tx.add(offsetof(Header, heap_top), sizeof(std::uint64_t));
+  const std::uint64_t new_top = off + size;
+  tx.store(offsetof(Header, heap_top),
+           std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(&new_top),
+               sizeof(new_top)));
+  return off;
+}
+
+void Pool::tx_free(Tx& tx, std::uint64_t off, std::uint64_t size) {
+  assert(tx.active());
+  ThreadCtx& ctx = tx.ctx_;
+  size = std::max<std::uint64_t>((size + 63) / 64 * 64, 64);
+  const Header h = read_header(ctx);
+  FreeChunk chunk{h.free_head, size};
+  tx.add(off, sizeof(FreeChunk));
+  tx.store(off, std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(&chunk),
+                    sizeof(chunk)));
+  relink(tx, 0, off);
+}
+
+void Pool::relink(Tx& tx, std::uint64_t prev, std::uint64_t next) {
+  const std::uint64_t target =
+      prev == 0 ? offsetof(Header, free_head)
+                : prev + offsetof(FreeChunk, next);
+  tx.add(target, sizeof(std::uint64_t));
+  tx.store(target, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(&next),
+                       sizeof(next)));
+}
+
+std::uint64_t Pool::alloc_raw(ThreadCtx& ctx, std::uint64_t size) {
+  size = std::max<std::uint64_t>((size + 63) / 64 * 64, 64);
+  Header h = read_header(ctx);
+  assert(h.heap_top + size <= h.pool_size);
+  const std::uint64_t off = h.heap_top;
+  write_header_field(ctx, offsetof(Header, heap_top), off + size);
+  return off;
+}
+
+// ----------------------------------------------------------------- Tx ----
+
+Tx::Tx(Pool& pool, ThreadCtx& ctx)
+    : pool_(pool), ctx_(ctx), lane_(ctx.id() % Pool::kLanes),
+      base_(pool.lane_off(lane_)) {
+  hdr_ = LaneHeader{1, 0, 0};
+  store_persist_pod(ctx_, pool_.ns_, base_, hdr_);
+  active_ = true;
+}
+
+Tx::~Tx() {
+  if (active_) abort();
+}
+
+void Tx::add(std::uint64_t off, std::uint32_t len) {
+  assert(active_);
+  assert(hdr_.nentries < kMaxEntries);
+  assert(base_ + kBlobOff + hdr_.blob_top + len <= base_ + Pool::kLaneSize);
+
+  // Snapshot old contents into the blob, persist blob + entry, and only
+  // then bump nentries: a crash mid-append leaves the entry invisible.
+  std::vector<std::uint8_t> old(len);
+  pool_.ns_.load(ctx_, off, old);
+  const std::uint64_t blob_at = base_ + kBlobOff + hdr_.blob_top;
+  pool_.ns_.ntstore(ctx_, blob_at, old);
+
+  Entry e{off, len, static_cast<std::uint32_t>(hdr_.blob_top)};
+  const std::uint64_t entry_at =
+      base_ + kEntriesOff + hdr_.nentries * sizeof(Entry);
+  pool_.ns_.ntstore(ctx_, entry_at,
+                    std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(&e), sizeof(e)));
+  pool_.ns_.sfence(ctx_);
+
+  hdr_.blob_top += (len + 7) / 8 * 8;
+  hdr_.nentries += 1;
+  store_persist_pod(ctx_, pool_.ns_, base_, hdr_);
+}
+
+void Tx::store(std::uint64_t off, std::span<const std::uint8_t> data) {
+  assert(active_);
+  pool_.ns_.store_flush(ctx_, off, data);
+}
+
+void Tx::commit() {
+  assert(active_);
+  // User stores were flushed as they were made; one fence makes them
+  // durable, then retiring the lane (state 0) makes the commit atomic.
+  pool_.ns_.sfence(ctx_);
+  hdr_ = LaneHeader{0, 0, 0};
+  store_persist_pod(ctx_, pool_.ns_, base_, hdr_);
+  active_ = false;
+}
+
+void Tx::abort() {
+  assert(active_);
+  // Roll back in reverse order.
+  for (std::uint32_t i = hdr_.nentries; i-- > 0;) {
+    const Entry e = pool_.ns_.load_pod<Entry>(
+        ctx_, base_ + kEntriesOff + i * sizeof(Entry));
+    std::vector<std::uint8_t> old(e.len);
+    pool_.ns_.load(ctx_, base_ + kBlobOff + e.blob_off, old);
+    pool_.ns_.store_flush(ctx_, e.off, old);
+  }
+  pool_.ns_.sfence(ctx_);
+  hdr_ = LaneHeader{0, 0, 0};
+  store_persist_pod(ctx_, pool_.ns_, base_, hdr_);
+  active_ = false;
+}
+
+void Tx::recover(Pool& pool, ThreadCtx& ctx, std::uint64_t lane_base) {
+  const auto hdr = pool.ns_.load_pod<LaneHeader>(ctx, lane_base);
+  if (hdr.state != 1) return;
+  for (std::uint32_t i = hdr.nentries; i-- > 0;) {
+    const Entry e = pool.ns_.load_pod<Entry>(
+        ctx, lane_base + kEntriesOff + i * sizeof(Entry));
+    std::vector<std::uint8_t> old(e.len);
+    pool.ns_.load(ctx, lane_base + kBlobOff + e.blob_off, old);
+    pool.ns_.store_flush(ctx, e.off, old);
+  }
+  pool.ns_.sfence(ctx);
+  store_persist_pod(ctx, pool.ns_, lane_base, LaneHeader{0, 0, 0});
+}
+
+}  // namespace xp::pmem

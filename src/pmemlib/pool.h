@@ -1,0 +1,158 @@
+// Persistent pool: a crash-consistent heap on a PmemNamespace.
+//
+// Mini-PMDK (libpmemobj) equivalent: a pool has a header, a fixed array of
+// per-thread transaction lanes (undo logs), and a heap managed by a
+// logged first-fit free-list allocator. All mutations of pool metadata go
+// through transactions, so a crash at any instruction boundary recovers to
+// a consistent state (tests verify this property at random crash points).
+//
+// Layout:
+//   [0, 4K)                 header
+//   [4K, 4K + L*lane_size)  transaction lanes (undo logs)
+//   [heap_base, size)       heap
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pmemlib/pmem_ops.h"
+#include "xpsim/platform.h"
+
+namespace xp::pmem {
+
+class Tx;
+
+class Pool {
+ public:
+  static constexpr std::uint64_t kMagic = 0x58504d454d504f4cULL;
+  static constexpr unsigned kLanes = 8;
+  static constexpr std::uint64_t kLaneSize = 256 * 1024;
+  static constexpr std::uint64_t kHeaderSize = 4096;
+
+  explicit Pool(hw::PmemNamespace& ns) : ns_(ns) {}
+
+  // Format a new pool with a zeroed root object of `root_size` bytes.
+  void create(ThreadCtx& ctx, std::uint64_t root_size);
+
+  // Open an existing pool; replays/rolls back interrupted transactions.
+  // Returns false if the namespace does not hold a valid pool.
+  bool open(ThreadCtx& ctx);
+
+  std::uint64_t root(ThreadCtx& ctx);
+  std::uint64_t root_size(ThreadCtx& ctx);
+
+  // Transactional allocation (PMDK pmemobj_tx_alloc/_free equivalents).
+  // Returned offsets are 64-byte aligned. Allocation metadata updates are
+  // undo-logged in `tx`, so an aborted or crashed transaction leaks
+  // nothing and frees nothing.
+  std::uint64_t tx_alloc(Tx& tx, std::uint64_t size);
+  void tx_free(Tx& tx, std::uint64_t off, std::uint64_t size);
+
+  // Non-transactional allocation for initial data-structure setup.
+  std::uint64_t alloc_raw(ThreadCtx& ctx, std::uint64_t size);
+
+  hw::PmemNamespace& ns() { return ns_; }
+
+  // Introspection for tests.
+  std::uint64_t heap_top(ThreadCtx& ctx);
+  std::uint64_t free_list_head(ThreadCtx& ctx);
+
+ private:
+  friend class Tx;
+
+  struct Header {
+    std::uint64_t magic;
+    std::uint64_t pool_size;
+    std::uint64_t root_off;
+    std::uint64_t root_size;
+    std::uint64_t heap_top;
+    std::uint64_t free_head;  // 0 = empty free list
+  };
+  // Free chunks carry {next, size} in their first 16 bytes.
+  struct FreeChunk {
+    std::uint64_t next;
+    std::uint64_t size;
+  };
+
+  static constexpr std::uint64_t kHeapBase =
+      kHeaderSize + kLanes * kLaneSize;
+
+  Header read_header(ThreadCtx& ctx) {
+    return ns_.load_pod<Header>(ctx, 0);
+  }
+  void write_header_field(ThreadCtx& ctx, std::uint64_t field_off,
+                          std::uint64_t value) {
+    store_persist_pod(ctx, ns_, field_off, value);
+  }
+
+  std::uint64_t lane_off(unsigned lane) const {
+    return kHeaderSize + lane * kLaneSize;
+  }
+
+  void recover_lane(ThreadCtx& ctx, unsigned lane);
+
+  // Point `prev` (a free chunk, or the header's free_head when 0) at
+  // `next`, undo-logged in `tx`.
+  void relink(Tx& tx, std::uint64_t prev, std::uint64_t next);
+
+  hw::PmemNamespace& ns_;
+};
+
+// Undo-log transaction. Usage:
+//   Tx tx(pool, ctx);            // picks a lane from the thread id
+//   tx.add(off, len);            // snapshot before modifying
+//   pool.ns().store_flush(...);  // or tx.store(...)
+//   tx.commit();                 // durable; ~Tx() without commit aborts
+class Tx {
+ public:
+  Tx(Pool& pool, ThreadCtx& ctx);
+  ~Tx();
+
+  Tx(const Tx&) = delete;
+  Tx& operator=(const Tx&) = delete;
+
+  // Snapshot [off, off+len) into the undo log (PMDK TX_ADD).
+  void add(std::uint64_t off, std::uint32_t len);
+
+  // add() + store + flush (fence deferred to commit).
+  void store(std::uint64_t off, std::span<const std::uint8_t> data);
+
+  void commit();
+  void abort();
+
+  // Crash-test support: drop the handle without rolling back or
+  // committing, as if the process died here. The lane stays active in the
+  // pool; the next open() rolls it back.
+  void release() { active_ = false; }
+
+  bool active() const { return active_; }
+  unsigned lane() const { return lane_; }
+
+ private:
+  struct LaneHeader {
+    std::uint32_t state;  // 0 idle, 1 active
+    std::uint32_t nentries;
+    std::uint64_t blob_top;  // next free byte in the blob area
+  };
+  struct Entry {
+    std::uint64_t off;
+    std::uint32_t len;
+    std::uint32_t blob_off;  // within the lane's blob area
+  };
+  static constexpr std::uint32_t kMaxEntries = 1024;
+  static constexpr std::uint64_t kEntriesOff = 64;
+  static constexpr std::uint64_t kBlobOff =
+      kEntriesOff + kMaxEntries * sizeof(Entry);
+
+  friend class Pool;
+  static void recover(Pool& pool, ThreadCtx& ctx, std::uint64_t lane_base);
+
+  Pool& pool_;
+  ThreadCtx& ctx_;
+  unsigned lane_;
+  std::uint64_t base_;  // namespace offset of the lane
+  LaneHeader hdr_{};
+  bool active_ = false;
+};
+
+}  // namespace xp::pmem

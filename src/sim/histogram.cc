@@ -1,0 +1,84 @@
+#include "sim/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace xp::sim {
+
+Histogram::Histogram() : buckets_(kMaxBuckets, 0) {}
+
+int Histogram::index_for(Time value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBucketBits;
+  const int sub = static_cast<int>(value >> shift) - kSubBuckets;
+  const int idx = (shift + 1) * kSubBuckets + sub;
+  return std::min(idx, kMaxBuckets - 1);
+}
+
+Time Histogram::value_for(int index) {
+  if (index < kSubBuckets) return static_cast<Time>(index);
+  const int shift = index / kSubBuckets - 1;
+  const int sub = index % kSubBuckets + kSubBuckets;
+  // Upper edge of the sub-bucket: conservative for percentiles.
+  return (static_cast<Time>(sub) << shift) + ((Time{1} << shift) - 1);
+}
+
+void Histogram::record(Time value) { record_n(value, 1); }
+
+void Histogram::record_n(Time value, std::uint64_t count) {
+  if (count == 0) return;
+  buckets_[static_cast<std::size_t>(index_for(value))] += count;
+  count_ += count;
+  const double v = static_cast<double>(value);
+  sum_ += v * static_cast<double>(count);
+  sum_sq_ += v * v * static_cast<double>(count);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+Time Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kMaxBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= target && seen > 0) return std::min(value_for(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int i = 0; i < kMaxBuckets; ++i)
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = sum_sq_ = 0.0;
+  min_ = ~Time{0};
+  max_ = 0;
+}
+
+}  // namespace xp::sim

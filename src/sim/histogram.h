@@ -1,0 +1,51 @@
+// Log-linear latency histogram (HdrHistogram-style).
+//
+// Values are bucketed into powers of two, each subdivided into
+// kSubBuckets linear sub-buckets, giving a bounded relative error of
+// 1/kSubBuckets at any magnitude. Used for latency percentiles in the
+// LATTester kernels and in the figure benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simtime.h"
+
+namespace xp::sim {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(Time value);
+  void record_n(Time value, std::uint64_t count);
+
+  std::uint64_t count() const { return count_; }
+  Time min() const { return count_ ? min_ : 0; }
+  Time max() const { return max_; }
+  double mean() const;
+  double stddev() const;
+
+  // q in [0, 1]; returns a value v such that ~q of samples are <= v.
+  Time percentile(double q) const;
+
+  void merge(const Histogram& other);
+  void reset();
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets => ~1.6% error
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kMaxBuckets = (64 - kSubBucketBits) * kSubBuckets;
+
+  static int index_for(Time value);
+  static Time value_for(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  Time min_ = ~Time{0};
+  Time max_ = 0;
+};
+
+}  // namespace xp::sim

@@ -1,0 +1,111 @@
+// Reservation-based contention model.
+//
+// A Resource models `k` identical servers (media banks, bus slots, queue
+// drain ports). A request arriving at time `t` with service time `s`
+// occupies the earliest-free server: it starts at max(t, server_free) and
+// completes `s` later. This yields queueing delay, saturation bandwidth of
+// k/s requests per unit time, and head-of-line effects without a full
+// event calendar.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/simtime.h"
+
+namespace xp::sim {
+
+class Resource {
+ public:
+  struct Grant {
+    Time start;  // when service begins (>= request time)
+    Time end;    // when service completes
+  };
+
+  explicit Resource(unsigned servers) : free_at_(servers, 0) {
+    assert(servers > 0);
+    make_heap();
+  }
+
+  // Reserve the earliest-free server at or after `earliest` for `service`.
+  Grant acquire(Time earliest, Time service) {
+    pop_heap();
+    Time& slot = free_at_.back();
+    const Time start = std::max(earliest, slot);
+    const Time end = start + service;
+    slot = end;
+    push_heap();
+    return {start, end};
+  }
+
+  // Earliest possible service start for a request arriving at `earliest`.
+  Time next_free(Time earliest) const {
+    return std::max(earliest, free_at_.front());
+  }
+
+  // Approximate queue depth: servers still busy at `now`.
+  unsigned busy_at(Time now) const {
+    unsigned n = 0;
+    for (Time t : free_at_)
+      if (t > now) ++n;
+    return n;
+  }
+
+  unsigned servers() const { return static_cast<unsigned>(free_at_.size()); }
+
+  void reset() { std::fill(free_at_.begin(), free_at_.end(), Time{0}); }
+
+ private:
+  // free_at_ is maintained as a min-heap on time (front = earliest free).
+  struct Greater {
+    bool operator()(Time a, Time b) const { return a > b; }
+  };
+  void make_heap() { std::make_heap(free_at_.begin(), free_at_.end(), Greater{}); }
+  void pop_heap() { std::pop_heap(free_at_.begin(), free_at_.end(), Greater{}); }
+  void push_heap() { std::push_heap(free_at_.begin(), free_at_.end(), Greater{}); }
+
+  std::vector<Time> free_at_;
+};
+
+// A bounded-occupancy queue: models a pending queue whose entries drain
+// through some downstream process. Callers ask for admission at time `t`;
+// entries whose drain time has passed have left the queue. If the queue
+// is still full, admission waits for the earliest remaining entry to
+// drain. The drain time of each entry is supplied by the caller (it is
+// the completion time of the downstream operation) and may be reported
+// out of order — completions of concurrent requests are not FIFO.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t depth) : depth_(depth) {}
+
+  // Returns the time at which a free slot is available for a request
+  // arriving at `t`, and reserves that slot (call exactly once per entry,
+  // paired with push()).
+  Time admission_time(Time t) {
+    while (!heap_.empty() && heap_.top() <= t) heap_.pop();
+    if (heap_.size() < depth_) return t;
+    const Time freed = heap_.top();
+    heap_.pop();
+    return freed;
+  }
+
+  // Record that the admitted entry will drain at `drain_at`.
+  void push(Time drain_at) { heap_.push(drain_at); }
+
+  std::size_t depth() const { return depth_; }
+  std::size_t occupancy() const { return heap_.size(); }
+
+  void reset() {
+    while (!heap_.empty()) heap_.pop();
+  }
+
+ private:
+  std::size_t depth_;
+  std::priority_queue<Time, std::vector<Time>, std::greater<Time>> heap_;
+};
+
+}  // namespace xp::sim

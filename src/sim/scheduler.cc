@@ -1,0 +1,38 @@
+#include "sim/scheduler.h"
+
+namespace xp::sim {
+
+ThreadCtx& Scheduler::spawn(const ThreadCtx::Options& opts, StepFn step) {
+  threads_.push_back(std::make_unique<ThreadCtx>(opts));
+  steps_.push_back(std::make_unique<StepFn>(std::move(step)));
+  heap_.push(Entry{threads_.back().get(), steps_.back().get()});
+  return *threads_.back();
+}
+
+void Scheduler::run() {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if ((*e.step)(*e.ctx)) heap_.push(e);
+  }
+}
+
+void Scheduler::run_until(Time deadline) {
+  while (!heap_.empty() && heap_.top().ctx->now() < deadline) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if ((*e.step)(*e.ctx)) heap_.push(e);
+  }
+}
+
+Time Scheduler::frontier() const {
+  return heap_.empty() ? Time{0} : heap_.top().ctx->now();
+}
+
+void Scheduler::reset() {
+  while (!heap_.empty()) heap_.pop();
+  threads_.clear();
+  steps_.clear();
+}
+
+}  // namespace xp::sim

@@ -1,0 +1,135 @@
+// Simulated threads and their interleaving.
+//
+// A simulated thread (ThreadCtx) is a logical core executing a workload.
+// It carries a local clock, a seeded RNG, and a bounded memory-level-
+// parallelism (MLP) window: at most `mlp` memory accesses may be
+// outstanding, which is what lets a single thread achieve bandwidth far
+// above 64B/latency, and what makes latency-bound mode (mlp = 1, fence
+// between accesses) distinct from bandwidth mode.
+//
+// The Scheduler interleaves threads conservatively: it always advances the
+// thread with the earliest local clock by one workload step. Shared
+// resources (sim::Resource) are therefore reserved in approximately global
+// time order, which produces realistic queueing without a full event
+// calendar.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simtime.h"
+
+namespace xp::sim {
+
+class ThreadCtx {
+ public:
+  struct Options {
+    unsigned id = 0;
+    unsigned socket = 0;      // NUMA node the thread is pinned to
+    unsigned mlp = 10;        // max outstanding memory accesses
+    std::uint64_t seed = 1;   // per-thread RNG stream
+  };
+
+  explicit ThreadCtx(const Options& opts)
+      : id_(opts.id), socket_(opts.socket), mlp_(opts.mlp ? opts.mlp : 1),
+        rng_(opts.seed * 0x9e3779b97f4a7c15ULL + opts.id + 1) {}
+
+  unsigned id() const { return id_; }
+  unsigned socket() const { return socket_; }
+  unsigned mlp() const { return mlp_; }
+  Rng& rng() { return rng_; }
+
+  Time now() const { return now_; }
+  void advance_to(Time t) {
+    if (t > now_) now_ = t;
+  }
+  void advance_by(Time d) { now_ += d; }
+
+  // --- MLP window -------------------------------------------------------
+  // begin_access(): returns the time at which the next access may issue,
+  // honoring the issue gap and the MLP window, and advances the clock to
+  // that time. complete_access() registers the access's completion.
+  Time begin_access(Time issue_gap) {
+    Time t = now_ + issue_gap;
+    if (inflight_.size() >= mlp_) {
+      if (inflight_.front() > t) t = inflight_.front();
+      inflight_.pop_front();
+    }
+    now_ = t;
+    return t;
+  }
+
+  void complete_access(Time done) {
+    // Completions are retired in order; a later access never unblocks the
+    // window before an earlier one.
+    if (!inflight_.empty() && done < inflight_.back()) done = inflight_.back();
+    inflight_.push_back(done);
+  }
+
+  // Wait for every outstanding access (sfence/mfence semantics).
+  void drain() {
+    if (!inflight_.empty()) {
+      advance_to(inflight_.back());
+      inflight_.clear();
+    }
+  }
+
+  bool has_inflight() const { return !inflight_.empty(); }
+
+ private:
+  unsigned id_;
+  unsigned socket_;
+  unsigned mlp_;
+  Rng rng_;
+  Time now_ = 0;
+  std::deque<Time> inflight_;
+};
+
+// A workload step: performs one application-level operation on the thread
+// (one memory access for microbenchmarks; one file write / KV op for the
+// macro benches) and returns false when the thread is finished.
+using StepFn = std::function<bool(ThreadCtx&)>;
+
+class Scheduler {
+ public:
+  // Creates a thread and registers its step function. Returns the context
+  // (owned by the scheduler, valid until reset()).
+  ThreadCtx& spawn(const ThreadCtx::Options& opts, StepFn step);
+
+  // Run until all threads have finished.
+  void run();
+
+  // Run until every live thread's clock is >= deadline (threads may be
+  // stepped slightly past it) or all threads finish.
+  void run_until(Time deadline);
+
+  // Earliest local time among live threads (0 when none).
+  Time frontier() const;
+
+  std::size_t live_threads() const { return heap_.size(); }
+
+  void reset();
+
+ private:
+  struct Entry {
+    ThreadCtx* ctx;
+    StepFn* step;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.ctx->now() != b.ctx->now()) return a.ctx->now() > b.ctx->now();
+      return a.ctx->id() > b.ctx->id();
+    }
+  };
+
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  std::vector<std::unique_ptr<StepFn>> steps_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace xp::sim

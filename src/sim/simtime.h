@@ -1,0 +1,45 @@
+// Simulated-time primitives.
+//
+// All simulator timing is expressed in picoseconds held in a 64-bit
+// unsigned integer. Picosecond resolution avoids rounding artifacts for
+// per-64-byte bus occupancies (a few nanoseconds) while still allowing
+// simulations of ~0.2 years of virtual time before overflow.
+#pragma once
+
+#include <cstdint>
+
+namespace xp::sim {
+
+// A point in (or duration of) simulated time, in picoseconds.
+using Time = std::uint64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1000 * kPicosecond;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+// Convenience constructors. Declared constexpr so timing tables in
+// xp::hw::Timing can live in headers.
+constexpr Time ps(double v) { return static_cast<Time>(v); }
+constexpr Time ns(double v) { return static_cast<Time>(v * 1e3); }
+constexpr Time us(double v) { return static_cast<Time>(v * 1e6); }
+constexpr Time ms(double v) { return static_cast<Time>(v * 1e9); }
+
+constexpr double to_ns(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_s(Time t) { return static_cast<double>(t) / 1e12; }
+
+// Bandwidth helper: bytes moved over a duration, in GB/s (1e9 bytes/s).
+constexpr double gbps(std::uint64_t bytes, Time duration) {
+  if (duration == 0) return 0.0;
+  return static_cast<double>(bytes) / (static_cast<double>(duration) / 1e12) /
+         1e9;
+}
+
+// Duration of moving `bytes` at `gb_per_s` (1e9 bytes/s).
+constexpr Time transfer_time(std::uint64_t bytes, double gb_per_s) {
+  return static_cast<Time>(static_cast<double>(bytes) / gb_per_s * 1e3);
+}
+
+}  // namespace xp::sim

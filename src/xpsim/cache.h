@@ -1,0 +1,158 @@
+// CPU cache model (per socket), holding real data.
+//
+// The cache is the volatile layer above the ADR domain: dirty lines here
+// are LOST on a crash, which is what makes clwb/clflush/ntstore + sfence
+// necessary for persistence. Three behaviors it must capture:
+//
+//  * store-allocate (RFO): a store to an uncached line first reads the
+//    line from memory — the extra read traffic that makes ntstore win for
+//    large transfers (Fig 13);
+//  * natural evictions pick a pseudo-random victim, so write-back order is
+//    shuffled relative to program order — destroying the sequentiality the
+//    XPBuffer needs and dropping EWR from ~0.98 to ~0.26 (§5.2);
+//  * clwb writes a line back but keeps it cached clean; clflush(opt)
+//    evict it.
+//
+// Capacity is llc_lines 64 B lines (32 MB default). Implemented as a hash
+// map plus an address vector for O(1) random victim selection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.h"
+#include "xpsim/counters.h"
+
+namespace xp::hw {
+
+class CacheModel {
+ public:
+  static constexpr std::size_t kLineSize = 64;
+  using LineData = std::array<std::uint8_t, kLineSize>;
+
+  struct Victim {
+    std::uint64_t line_addr;
+    LineData data;
+    bool dirty;
+  };
+
+  CacheModel(std::size_t capacity_lines, std::uint64_t seed)
+      : capacity_(capacity_lines), rng_(seed) {
+    map_.reserve(capacity_lines / 4);
+  }
+
+  // Returns the cached data for `line_addr`, or nullptr.
+  std::uint8_t* find(std::uint64_t line_addr) {
+    auto it = map_.find(line_addr);
+    return it == map_.end() ? nullptr : it->second.data.data();
+  }
+
+  bool is_dirty(std::uint64_t line_addr) const {
+    auto it = map_.find(line_addr);
+    return it != map_.end() && it->second.dirty;
+  }
+
+  bool contains(std::uint64_t line_addr) const {
+    return map_.count(line_addr) != 0;
+  }
+
+  void mark_dirty(std::uint64_t line_addr, bool dirty) {
+    auto it = map_.find(line_addr);
+    if (it != map_.end()) it->second.dirty = dirty;
+  }
+
+  // Install a line. If the cache is full, a pseudo-random victim is
+  // evicted and returned so the caller can write it back.
+  std::optional<Victim> insert(std::uint64_t line_addr, const LineData& data,
+                               bool dirty, CacheCounters& c) {
+    std::optional<Victim> victim;
+    if (map_.size() >= capacity_ && map_.count(line_addr) == 0) {
+      victim = evict_random(c);
+    }
+    auto [it, inserted] = map_.try_emplace(line_addr);
+    it->second.data = data;
+    it->second.dirty = it->second.dirty || dirty;
+    if (inserted) {
+      it->second.pos = order_.size();
+      order_.push_back(line_addr);
+    }
+    return victim;
+  }
+
+  // Remove a line (clflush / ntstore invalidation). Returns its data if it
+  // was present and dirty (caller decides whether to write back).
+  std::optional<Victim> erase(std::uint64_t line_addr) {
+    auto it = map_.find(line_addr);
+    if (it == map_.end()) return std::nullopt;
+    Victim v{line_addr, it->second.data, it->second.dirty};
+    remove_from_order(it->second.pos);
+    map_.erase(it);
+    if (!v.dirty) return std::nullopt;
+    return v;
+  }
+
+  // Power failure: all dirty lines vanish (they never reached the ADR).
+  // Returns how many lines of data were lost.
+  std::size_t drop_all(std::size_t* dirty_lost = nullptr) {
+    std::size_t lost = 0;
+    for (const auto& [addr, line] : map_)
+      if (line.dirty) ++lost;
+    const std::size_t n = map_.size();
+    map_.clear();
+    order_.clear();
+    if (dirty_lost) *dirty_lost = lost;
+    return n;
+  }
+
+  // Write back every dirty line through `writeback(line_addr, data)` and
+  // mark clean (used by tests and by an orderly shutdown).
+  template <typename Fn>
+  void writeback_all(Fn&& writeback) {
+    for (auto& [addr, line] : map_) {
+      if (line.dirty) {
+        writeback(addr, line.data);
+        line.dirty = false;
+      }
+    }
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Line {
+    LineData data{};
+    bool dirty = false;
+    std::size_t pos = 0;  // index into order_
+  };
+
+  Victim evict_random(CacheCounters& c) {
+    const std::size_t idx = static_cast<std::size_t>(
+        rng_.uniform(order_.size()));
+    const std::uint64_t addr = order_[idx];
+    auto it = map_.find(addr);
+    Victim v{addr, it->second.data, it->second.dirty};
+    remove_from_order(idx);
+    map_.erase(it);
+    ++c.natural_evictions;
+    return v;
+  }
+
+  void remove_from_order(std::size_t idx) {
+    const std::uint64_t moved = order_.back();
+    order_[idx] = moved;
+    order_.pop_back();
+    if (idx < order_.size()) map_.find(moved)->second.pos = idx;
+  }
+
+  std::size_t capacity_;
+  sim::Rng rng_;
+  std::unordered_map<std::uint64_t, Line> map_;
+  std::vector<std::uint64_t> order_;
+};
+
+}  // namespace xp::hw

@@ -1,0 +1,97 @@
+// Hardware-counter equivalents exposed by the simulated devices.
+//
+// These mirror the counters LATTester reads on real hardware: the iMC's
+// DIMM-interface byte counts and the on-DIMM media byte counts, from which
+// the paper defines the Effective Write Ratio (EWR, §5.1).
+#pragma once
+
+#include <cstdint>
+
+namespace xp::hw {
+
+struct XpCounters {
+  // Bytes crossing the DDR-T interface (what the iMC issued).
+  std::uint64_t imc_read_bytes = 0;
+  std::uint64_t imc_write_bytes = 0;
+  // Bytes the 3D XPoint media actually transferred (256 B granularity).
+  std::uint64_t media_read_bytes = 0;
+  std::uint64_t media_write_bytes = 0;
+
+  std::uint64_t buffer_hit_reads = 0;
+  std::uint64_t buffer_miss_reads = 0;
+  std::uint64_t evictions_clean = 0;
+  std::uint64_t evictions_full = 0;     // fully dirty line: one media write
+  std::uint64_t evictions_partial = 0;  // RMW: media read + write
+  std::uint64_t ait_misses = 0;
+  std::uint64_t wear_migrations = 0;
+
+  // EWR = iMC write bytes / media write bytes (inverse of write
+  // amplification). > 1 is possible via coalescing (paper §5.1).
+  double ewr() const {
+    if (media_write_bytes == 0) return imc_write_bytes == 0 ? 1.0 : 99.0;
+    return static_cast<double>(imc_write_bytes) /
+           static_cast<double>(media_write_bytes);
+  }
+  double write_amplification() const {
+    if (imc_write_bytes == 0) return 1.0;
+    return static_cast<double>(media_write_bytes) /
+           static_cast<double>(imc_write_bytes);
+  }
+
+  XpCounters& operator+=(const XpCounters& o) {
+    imc_read_bytes += o.imc_read_bytes;
+    imc_write_bytes += o.imc_write_bytes;
+    media_read_bytes += o.media_read_bytes;
+    media_write_bytes += o.media_write_bytes;
+    buffer_hit_reads += o.buffer_hit_reads;
+    buffer_miss_reads += o.buffer_miss_reads;
+    evictions_clean += o.evictions_clean;
+    evictions_full += o.evictions_full;
+    evictions_partial += o.evictions_partial;
+    ait_misses += o.ait_misses;
+    wear_migrations += o.wear_migrations;
+    return *this;
+  }
+  XpCounters operator-(const XpCounters& o) const {
+    XpCounters r = *this;
+    r.imc_read_bytes -= o.imc_read_bytes;
+    r.imc_write_bytes -= o.imc_write_bytes;
+    r.media_read_bytes -= o.media_read_bytes;
+    r.media_write_bytes -= o.media_write_bytes;
+    r.buffer_hit_reads -= o.buffer_hit_reads;
+    r.buffer_miss_reads -= o.buffer_miss_reads;
+    r.evictions_clean -= o.evictions_clean;
+    r.evictions_full -= o.evictions_full;
+    r.evictions_partial -= o.evictions_partial;
+    r.ait_misses -= o.ait_misses;
+    r.wear_migrations -= o.wear_migrations;
+    return r;
+  }
+};
+
+struct DramCounters {
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+
+  DramCounters& operator+=(const DramCounters& o) {
+    read_bytes += o.read_bytes;
+    write_bytes += o.write_bytes;
+    row_hits += o.row_hits;
+    row_misses += o.row_misses;
+    return *this;
+  }
+};
+
+struct CacheCounters {
+  std::uint64_t load_hits = 0;
+  std::uint64_t load_misses = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_misses = 0;  // triggered an RFO fill
+  std::uint64_t natural_evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t explicit_flushes = 0;
+};
+
+}  // namespace xp::hw

@@ -1,0 +1,47 @@
+// Channel interleaving address decode (paper Fig 1(c)).
+//
+// In interleaved mode the namespace address space is striped across the
+// socket's six XP DIMMs in 4 KB chunks, giving a 24 KB stripe: an access
+// within one 4 KB page touches exactly one DIMM; accesses >24 KB touch all
+// six. Non-interleaved namespaces map 1:1 onto a single DIMM.
+#pragma once
+
+#include <cstdint>
+
+namespace xp::hw {
+
+struct DimmAddr {
+  unsigned channel;     // which DIMM on the socket
+  std::uint64_t addr;   // DIMM-local byte address
+};
+
+class InterleaveDecoder {
+ public:
+  InterleaveDecoder(unsigned channels, std::uint64_t chunk)
+      : channels_(channels), chunk_(chunk) {}
+
+  DimmAddr decode(std::uint64_t offset) const {
+    const std::uint64_t chunk_index = offset / chunk_;
+    const std::uint64_t within = offset % chunk_;
+    const unsigned channel = static_cast<unsigned>(chunk_index % channels_);
+    const std::uint64_t dimm_chunk = chunk_index / channels_;
+    return {channel, dimm_chunk * chunk_ + within};
+  }
+
+  // Inverse mapping (used by tests to prove the decode is a bijection).
+  std::uint64_t encode(const DimmAddr& da) const {
+    const std::uint64_t dimm_chunk = da.addr / chunk_;
+    const std::uint64_t within = da.addr % chunk_;
+    return (dimm_chunk * channels_ + da.channel) * chunk_ + within;
+  }
+
+  unsigned channels() const { return channels_; }
+  std::uint64_t chunk() const { return chunk_; }
+  std::uint64_t stripe() const { return chunk_ * channels_; }
+
+ private:
+  unsigned channels_;
+  std::uint64_t chunk_;
+};
+
+}  // namespace xp::hw

@@ -1,0 +1,121 @@
+// 3D XPoint media model: banked storage accessed in 256 B XPLines.
+//
+// The media is a timing-and-wear model only; data contents live in the
+// namespace backing image (see pmem_namespace.h). Reads and writes occupy
+// one of `xp_banks` concurrent units for a technology-dependent service
+// time; this makes latency and 1/throughput distinct (6 banks x 256 B /
+// 241 ns ~= 6.4 GB/s read, / 662 ns ~= 2.3 GB/s write), reproducing the
+// paper's single-DIMM peaks.
+//
+// Wear leveling: each XPLine write increments a wear counter; at
+// `wear_threshold` the controller migrates the line, stalling the whole
+// XPController (the AIT is a shared structure) for ~50 us. These
+// migrations are the rare 100x tail-latency outliers of Figure 3, and
+// they concentrate in small write hotspots exactly as the paper observes
+// (a small hotspot reaches the threshold during the run; a large one does
+// not).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "sim/resource.h"
+#include "sim/simtime.h"
+#include "xpsim/counters.h"
+#include "xpsim/timing.h"
+
+namespace xp::hw {
+
+class Media {
+ public:
+  using Grant = sim::Resource::Grant;
+
+  explicit Media(const Timing& t) : timing_(t), banks_(t.xp_banks) {}
+
+  // Read one XPLine. Returns the service grant (data available at .end).
+  Grant read_line(Time t, [[maybe_unused]] std::uint64_t line_index,
+                  XpCounters& c) {
+    c.media_read_bytes += timing_.xpline;
+    return banks_.acquire(t, timing_.xp_media_read);
+  }
+
+  // Write one XPLine. May trigger a wear-leveling migration that stalls
+  // the controller (see stall_until()).
+  Grant write_line(Time t, std::uint64_t line_index, XpCounters& c) {
+    c.media_write_bytes += timing_.xpline;
+    const Grant g = banks_.acquire(t, timing_.xp_media_write);
+    if (timing_.wear_threshold != 0) {
+      std::uint64_t& wear = wear_[line_index];
+      if (++wear % timing_.wear_threshold == 0) {
+        ++c.wear_migrations;
+        const Time until = g.start + timing_.wear_migration;
+        if (until > stall_until_) stall_until_ = until;
+      }
+    }
+    return g;
+  }
+
+  // Requests arriving while a wear-leveling migration is in progress wait
+  // until the controller is responsive again.
+  Time gate(Time t) const { return t < stall_until_ ? stall_until_ : t; }
+  Time stall_until() const { return stall_until_; }
+
+  // Earliest time a bank could begin servicing a request arriving at `t`.
+  Time next_free(Time t) const { return banks_.next_free(t); }
+
+  std::uint64_t wear_of(std::uint64_t line_index) const {
+    auto it = wear_.find(line_index);
+    return it == wear_.end() ? 0 : it->second;
+  }
+
+  // Forget reservation state (new measurement epoch); wear persists.
+  void reset_timing() {
+    banks_.reset();
+    stall_until_ = 0;
+  }
+
+ private:
+  const Timing& timing_;
+  sim::Resource banks_;
+  Time stall_until_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> wear_;
+};
+
+// Address Indirection Table cache: the XPController translates 4 KB
+// logical regions to physical media locations. A translation miss costs an
+// extra media read. Modeled as an LRU set of region ids.
+class AitCache {
+ public:
+  explicit AitCache(unsigned entries) : capacity_(entries) {}
+
+  // Returns true on hit; on miss, installs the region (evicting LRU).
+  bool access(std::uint64_t region) {
+    auto it = map_.find(region);
+    if (it != map_.end()) {
+      touch(it);
+      return true;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(region);
+    map_[region] = lru_.begin();
+    return false;
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  using List = std::list<std::uint64_t>;
+  void touch(std::unordered_map<std::uint64_t, List::iterator>::iterator it) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+
+  std::size_t capacity_;
+  List lru_;
+  std::unordered_map<std::uint64_t, List::iterator> map_;
+};
+
+}  // namespace xp::hw

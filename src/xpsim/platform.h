@@ -1,0 +1,250 @@
+// The whole simulated machine, and the persistent-memory programming API.
+//
+// Platform models the paper's testbed: two sockets, each with a CPU cache,
+// six memory channels, and one XP DIMM + one DRAM DIMM per channel,
+// connected by a UPI link. Software (LATTester, the file systems, the KV
+// stores) runs as simulated threads (sim::ThreadCtx) and accesses memory
+// through PmemNamespace, which both moves real bytes and charges simulated
+// time.
+//
+// Persistence semantics follow the hardware contract exactly (§2.1):
+//  * plain stores land in the (volatile) CPU cache;
+//  * clwb/clflush/clflushopt/ntstore move data into the iMC's WPQ, which
+//    is inside the ADR domain and therefore durable;
+//  * sfence waits for prior flushes/ntstores to reach the WPQ;
+//  * Platform::crash() drops all dirty cache lines — anything not flushed
+//    is gone, anything flushed survives. Tests exploit this for
+//    crash-consistency checking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/simtime.h"
+#include "xpsim/cache.h"
+#include "xpsim/counters.h"
+#include "xpsim/dram_dimm.h"
+#include "xpsim/interleave.h"
+#include "xpsim/memory_mode.h"
+#include "xpsim/sparse_image.h"
+#include "xpsim/timing.h"
+#include "xpsim/upi.h"
+#include "xpsim/xpdimm.h"
+
+namespace xp::hw {
+
+using sim::ThreadCtx;
+using sim::Time;
+
+enum class Device { kXp, kDram };
+
+struct NamespaceOptions {
+  Device device = Device::kXp;
+  unsigned socket = 0;
+  bool interleaved = true;  // XP only: stripe over all 6 DIMMs vs. 1 DIMM
+  unsigned dimm = 0;        // target DIMM for non-interleaved namespaces
+  std::uint64_t size = std::uint64_t{1} << 30;
+  // Memory Mode (paper §2.1.2): the XP DIMMs serve as *volatile* far
+  // memory behind the channel's DRAM cache. Contents do not survive
+  // crash(); persistence instructions are accepted but meaningless.
+  bool memory_mode = false;
+  EmulationKnobs emulation{};
+  // Timing-only namespace: stores are not materialized in the backing
+  // image (loads return zeros). Used by bandwidth benches so multi-GB
+  // sweep regions don't consume host memory. Never use together with
+  // data-integrity checks.
+  bool discard_data = false;
+  std::string name = "pmem";
+};
+
+class Platform;
+
+// A byte-addressable persistent (or pseudo-persistent) region, the unit of
+// App-Direct provisioning (an fsdax namespace in Linux terms).
+class PmemNamespace {
+ public:
+  PmemNamespace(Platform& platform, NamespaceOptions opts,
+                std::uint64_t base);
+
+  // ---- Timed data path (the public programming interface) ---------------
+  void load(ThreadCtx& ctx, std::uint64_t off, std::span<std::uint8_t> out);
+  void store(ThreadCtx& ctx, std::uint64_t off,
+             std::span<const std::uint8_t> data);
+  void ntstore(ThreadCtx& ctx, std::uint64_t off,
+               std::span<const std::uint8_t> data);
+  void clwb(ThreadCtx& ctx, std::uint64_t off, std::size_t len);
+  void clflushopt(ThreadCtx& ctx, std::uint64_t off, std::size_t len);
+  void clflush(ThreadCtx& ctx, std::uint64_t off, std::size_t len);
+  void sfence(ThreadCtx& ctx);
+  void mfence(ThreadCtx& ctx);
+
+  // Convenience compositions used throughout the upper layers.
+  // persist(): clwb the range, then sfence (PMDK's pmem_persist).
+  void persist(ThreadCtx& ctx, std::uint64_t off, std::size_t len);
+  // store + clwb, no fence (caller batches the sfence).
+  void store_flush(ThreadCtx& ctx, std::uint64_t off,
+                   std::span<const std::uint8_t> data);
+  // store + clwb + sfence.
+  void store_persist(ThreadCtx& ctx, std::uint64_t off,
+                     std::span<const std::uint8_t> data);
+  // ntstore + sfence.
+  void ntstore_persist(ThreadCtx& ctx, std::uint64_t off,
+                       std::span<const std::uint8_t> data);
+
+  template <typename T>
+  T load_pod(ThreadCtx& ctx, std::uint64_t off) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    load(ctx, off, std::span<std::uint8_t>(
+                       reinterpret_cast<std::uint8_t*>(&v), sizeof(T)));
+    return v;
+  }
+  template <typename T>
+  void store_pod(ThreadCtx& ctx, std::uint64_t off, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    store(ctx, off, std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(&v), sizeof(T)));
+  }
+
+  // ---- Untimed debug/test access (bypasses cache AND durability) --------
+  // peek() reads the *durable* image — what would survive a crash.
+  void peek(std::uint64_t off, std::span<std::uint8_t> out) const;
+  void poke(std::uint64_t off, std::span<const std::uint8_t> in);
+
+  // ---- Introspection -----------------------------------------------------
+  std::uint64_t size() const { return opts_.size; }
+  unsigned socket() const { return opts_.socket; }
+  Device device() const { return opts_.device; }
+  bool interleaved() const { return opts_.interleaved; }
+  const std::string& name() const { return opts_.name; }
+  std::uint64_t base() const { return base_; }
+
+  // Aggregated DIMM hardware counters for the DIMMs this namespace spans.
+  XpCounters xp_counters() const;
+  DramCounters dram_counters() const;
+
+  // Maps a namespace offset to (channel, DIMM-local address).
+  DimmAddr decode(std::uint64_t off) const;
+
+ private:
+  friend class Platform;
+
+  void image_write(std::uint64_t off, std::span<const std::uint8_t> in) {
+    if (!opts_.discard_data) image_.write(off, in);
+  }
+
+  Platform& platform_;
+  NamespaceOptions opts_;
+  std::uint64_t base_;  // position in the global physical address space
+  InterleaveDecoder decoder_;
+  SparseImage image_;
+};
+
+class Platform {
+ public:
+  explicit Platform(Timing timing = {}, std::uint64_t seed = 42);
+  ~Platform();
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  const Timing& timing() const { return timing_; }
+
+  PmemNamespace& add_namespace(NamespaceOptions opts);
+
+  // Canonical configurations from the paper (§2.3). `socket` defaults to
+  // the local socket; "remote" in the paper means the *thread* runs on the
+  // other socket, which the caller controls via ThreadCtx::socket.
+  PmemNamespace& optane(std::uint64_t size, unsigned socket = 0);
+  PmemNamespace& optane_ni(std::uint64_t size, unsigned socket = 0,
+                           unsigned dimm = 0);
+  PmemNamespace& dram(std::uint64_t size, unsigned socket = 0);
+  PmemNamespace& pmep(std::uint64_t size, unsigned socket = 0);
+  // XP DIMMs in Memory Mode (volatile, DRAM-cached far memory).
+  PmemNamespace& optane_memory_mode(std::uint64_t size, unsigned socket = 0);
+
+  // Power failure: every dirty CPU-cache line is lost; the ADR domain
+  // (WPQ + XPBuffer) has already reached the durable image. Returns the
+  // number of dirty lines that were lost.
+  std::size_t crash();
+
+  // Orderly flush of all caches (not available on real hardware at this
+  // granularity; used by tests and shutdown paths).
+  void writeback_all_caches();
+
+  // Start a new measurement epoch: forget every queue/bank/link
+  // reservation so freshly spawned ThreadCtx clocks (which start at 0)
+  // don't wait behind stale far-future reservations from a previous run.
+  // Data contents, caches, wear and counters are untouched. Call this
+  // before every independent sim::Scheduler run on a reused Platform.
+  void reset_timing();
+
+  CacheModel& cache(unsigned socket) { return *caches_[socket]; }
+  const CacheCounters& cache_counters(unsigned socket) const {
+    return cache_counters_[socket];
+  }
+  XpDimm& xp_dimm(unsigned socket, unsigned channel) {
+    return *sockets_[socket].xp[channel];
+  }
+  DramDimm& dram_dimm(unsigned socket, unsigned channel) {
+    return *sockets_[socket].dram[channel];
+  }
+  UpiLink& upi() { return *upi_; }
+  MemoryModeChannel& memory_mode_channel(unsigned socket, unsigned channel) {
+    return *sockets_[socket].mm[channel];
+  }
+
+  friend class PmemNamespace;
+
+ private:
+  struct SocketHw {
+    std::vector<std::unique_ptr<XpDimm>> xp;
+    std::vector<std::unique_ptr<DramDimm>> dram;
+    std::vector<std::unique_ptr<MemoryModeChannel>> mm;
+  };
+
+  // ---- internal timed paths (per 64 B line) ------------------------------
+  // Read one cache line's worth of data from the device into `out`
+  // (durable image content). Returns data-arrival completion time.
+  Time device_read_line(ThreadCtx& ctx, PmemNamespace& ns,
+                        std::uint64_t line_off, Time t);
+  // Send one 64 B write to the device (enters ADR). Returns persist-ack.
+  Time device_write64(ThreadCtx& ctx, PmemNamespace& ns,
+                      std::uint64_t line_off, Time t);
+
+  // Write back a victim cache line to its home namespace (applies data to
+  // the durable image). Returns persist-ack time.
+  Time writeback_line(ThreadCtx& ctx, std::uint64_t paddr_line,
+                      const CacheModel::LineData& data, Time t);
+
+  // If any *other* socket caches this line dirty, flush it to the image
+  // (simplified MESI ownership transfer).
+  void coherence_flush(unsigned requesting_socket, std::uint64_t paddr_line);
+
+  PmemNamespace* namespace_of(std::uint64_t paddr);
+
+  // One cache-line-granular step of load/store; used by PmemNamespace.
+  void do_load(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
+               std::span<std::uint8_t> out);
+  void do_store(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
+                std::span<const std::uint8_t> data);
+  void do_ntstore(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
+                  std::span<const std::uint8_t> data);
+  enum class FlushKind { kClwb, kClflushopt, kClflush };
+  void do_flush(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
+                std::size_t len, FlushKind kind);
+
+  Timing timing_;
+  std::vector<std::unique_ptr<CacheModel>> caches_;  // one per socket
+  std::vector<CacheCounters> cache_counters_;
+  std::vector<SocketHw> sockets_;
+  std::unique_ptr<UpiLink> upi_;
+  std::vector<std::unique_ptr<PmemNamespace>> namespaces_;
+  std::uint64_t next_base_ = 0;
+};
+
+}  // namespace xp::hw

@@ -1,0 +1,75 @@
+// Sparse byte image backing a persistent-memory namespace.
+//
+// Holds the *durable* contents of a namespace: every byte that has reached
+// the ADR domain (WPQ admission or deeper). Pages materialize lazily;
+// unwritten bytes read as zero, matching a freshly provisioned region.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+namespace xp::hw {
+
+class SparseImage {
+ public:
+  explicit SparseImage(std::uint64_t size) : size_(size) {}
+
+  std::uint64_t size() const { return size_; }
+
+  void read(std::uint64_t off, std::span<std::uint8_t> out) const {
+    assert(off + out.size() <= size_);
+    std::size_t done = 0;
+    while (done < out.size()) {
+      const std::uint64_t pos = off + done;
+      const std::uint64_t page = pos / kPage;
+      const std::size_t in_page = static_cast<std::size_t>(pos % kPage);
+      const std::size_t n =
+          std::min(out.size() - done, kPage - in_page);
+      auto it = pages_.find(page);
+      if (it == pages_.end()) {
+        std::memset(out.data() + done, 0, n);
+      } else {
+        std::memcpy(out.data() + done, it->second->data() + in_page, n);
+      }
+      done += n;
+    }
+  }
+
+  void write(std::uint64_t off, std::span<const std::uint8_t> in) {
+    assert(off + in.size() <= size_);
+    std::size_t done = 0;
+    while (done < in.size()) {
+      const std::uint64_t pos = off + done;
+      const std::uint64_t page = pos / kPage;
+      const std::size_t in_page = static_cast<std::size_t>(pos % kPage);
+      const std::size_t n = std::min(in.size() - done, kPage - in_page);
+      auto& p = pages_[page];
+      if (!p) {
+        p = std::make_unique<Page>();
+        p->fill(0);
+      }
+      std::memcpy(p->data() + in_page, in.data() + done, n);
+      done += n;
+    }
+  }
+
+  std::size_t resident_pages() const { return pages_.size(); }
+
+  // Drop all contents (used for Memory-Mode namespaces on power failure:
+  // they are volatile by construction).
+  void clear() { pages_.clear(); }
+
+ private:
+  static constexpr std::uint64_t kPage = 64 * 1024;
+  using Page = std::array<std::uint8_t, kPage>;
+
+  std::uint64_t size_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace xp::hw

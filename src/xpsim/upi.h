@@ -1,0 +1,61 @@
+// Cross-socket interconnect (UPI) model.
+//
+// Remote accesses pay a one-way command latency plus payload transfer
+// over per-direction lanes. The key asymmetry (§5.4, Figs 18/19): a
+// remote *write* holds its outbound lane until the target iMC admits the
+// data. A DRAM WPQ drains in nanoseconds, so DRAM barely notices; an XP
+// DIMM under write pressure drains slowly, so remote writes serialize on
+// the link and drag down any reads whose commands share the outbound
+// lane — which is why multi-threaded mixed read/write remote traffic to
+// Optane collapses (>30x in the paper's sweep) while pure reads only
+// lose ~40%.
+#pragma once
+
+#include "sim/simtime.h"
+#include "xpsim/timing.h"
+
+namespace xp::hw {
+
+class UpiLink {
+ public:
+  explicit UpiLink(const Timing& t)
+      : timing_(t),
+        per64_(sim::transfer_time(t.cacheline, t.upi_gbps)) {}
+
+  Time command_latency() const { return timing_.upi_latency; }
+
+  // Outbound (to the remote socket): commands and store data.
+  Time outbound(Time t, Time service) {
+    const Time start = t > out_free_ ? t : out_free_;
+    out_free_ = start + service;
+    return out_free_;
+  }
+
+  // Keep the outbound lane busy until `until` (home agent waiting for the
+  // target iMC to accept a write).
+  void hold_outbound(Time until) {
+    if (until > out_free_) out_free_ = until;
+  }
+
+  // Inbound (back to the requesting socket): load data returns.
+  Time inbound(Time t, Time service) {
+    const Time start = t > in_free_ ? t : in_free_;
+    in_free_ = start + service;
+    return in_free_;
+  }
+
+  Time data64() const { return per64_; }
+
+  void reset_timing() {
+    out_free_ = 0;
+    in_free_ = 0;
+  }
+
+ private:
+  const Timing& timing_;
+  Time per64_;
+  Time out_free_ = 0;
+  Time in_free_ = 0;
+};
+
+}  // namespace xp::hw

@@ -1,0 +1,127 @@
+#include "xpsim/xpbuffer.h"
+
+#include <algorithm>
+
+namespace xp::hw {
+
+const XpBuffer::Entry* XpBuffer::find(std::uint64_t line) const {
+  for (const Entry& e : entries_)
+    if (e.line == line) return &e;
+  return nullptr;
+}
+
+XpBuffer::Entry* XpBuffer::find(std::uint64_t line) {
+  for (Entry& e : entries_)
+    if (e.line == line) return &e;
+  return nullptr;
+}
+
+Time XpBuffer::write64(Time t, std::uint64_t line, unsigned sub,
+                       XpCounters& c) {
+  drain_aged(t, c);
+  if (Entry* e = find(line)) {
+    if (e->dirty_mask == kFullMask) {
+      // Rewriting an already fully combined line: the controller flushes
+      // the combined line to media and starts a fresh combining round.
+      // (This is what exposes hot-line wear and Fig 3's tail outliers.)
+      ++c.evictions_full;
+      const Time start = std::max(t, e->ready_at);
+      const auto g = media_.write_line(start, e->line, c);
+      e->dirty_mask = static_cast<std::uint8_t>(1u << sub);
+      // Combining register is reusable once the media write has begun.
+      e->ready_at = g.start;
+      const Time done = std::max(t, g.start) + timing_.xpbuffer_merge;
+      e->last_touch = done;
+      return done;
+    }
+    e->dirty_mask |= static_cast<std::uint8_t>(1u << sub);
+    const Time done = std::max(t, e->ready_at) + timing_.xpbuffer_merge;
+    e->last_touch = done;
+    return done;
+  }
+  const Time slot_at = make_room(t, c);
+  const Time done = slot_at + timing_.xpbuffer_merge;
+  entries_.push_back(Entry{line, static_cast<std::uint8_t>(1u << sub),
+                           done, slot_at});
+  return done;
+}
+
+Time XpBuffer::read64(Time t, std::uint64_t line, XpCounters& c) {
+  drain_aged(t, c);
+  if (Entry* e = find(line)) {
+    ++c.buffer_hit_reads;
+    const Time done = std::max(t, e->ready_at) + timing_.xpbuffer_read;
+    e->last_touch = done;
+    return done;
+  }
+  ++c.buffer_miss_reads;
+  const Time slot_at = make_room(t, c);
+  const Time fetched = media_.read_line(slot_at, line, c).end;
+  entries_.push_back(Entry{line, 0, fetched, fetched});
+  return fetched;
+}
+
+Time XpBuffer::make_room(Time t, XpCounters& c) {
+  if (entries_.size() < timing_.xpbuffer_lines) return t;
+  // Victim: least-recently-touched entry (reads and writes both refresh
+  // recency, which is why reads compete for buffer space, §5.1).
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i)
+    if (entries_[i].last_touch < entries_[victim].last_touch) victim = i;
+  return evict(victim, t, c);
+}
+
+Time XpBuffer::evict(std::size_t idx, Time t, XpCounters& c) {
+  Entry e = entries_[idx];
+  entries_[idx] = entries_.back();
+  entries_.pop_back();
+
+  const Time start = std::max(t, e.ready_at);
+  if (e.dirty_mask == 0) {
+    ++c.evictions_clean;
+    return start;  // clean: slot free immediately
+  }
+  if (e.dirty_mask == kFullMask) {
+    ++c.evictions_full;
+    // The slot is reusable once the media write has *started* (the data
+    // moves to the media write register); store latency stays decoupled
+    // from the 662 ns media write while throughput is still capped by it.
+    return media_.write_line(start, e.line, c).start;
+  }
+  // Partial line: read-modify-write against the media.
+  ++c.evictions_partial;
+  const Time read_done = media_.read_line(start, e.line, c).end;
+  return media_.write_line(read_done, e.line, c).start;
+}
+
+void XpBuffer::drain_aged(Time t, XpCounters& c) {
+  if (timing_.xpbuffer_drain_age == 0) return;
+  // Optional eager drain (disabled by default; see bench/abl_xpbuffer):
+  // write out up to two lines idle longer than the drain age.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::size_t oldest = entries_.size();
+    Time oldest_touch = ~Time{0};
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].last_touch < oldest_touch) {
+        oldest_touch = entries_[i].last_touch;
+        oldest = i;
+      }
+    }
+    if (oldest == entries_.size()) return;
+    if (oldest_touch + timing_.xpbuffer_drain_age > t) return;
+    evict(oldest, t, c);  // caller does not wait; slot simply frees
+  }
+}
+
+void XpBuffer::flush_all(Time t, XpCounters& c) {
+  while (!entries_.empty()) evict(entries_.size() - 1, t, c);
+}
+
+void XpBuffer::reset_timing() {
+  for (Entry& e : entries_) {
+    e.last_touch = 0;
+    e.ready_at = 0;
+  }
+}
+
+}  // namespace xp::hw

@@ -1,0 +1,96 @@
+// One 3D XPoint DIMM behind its iMC pending queues.
+//
+// Composition per the paper's Figure 1(b): the iMC keeps a bounded write
+// pending queue (WPQ, inside the ADR power-fail domain) and read pending
+// queue per DIMM; requests cross the DDR-T interface in 64 B units to the
+// XPController, which runs the AIT translation, the XPBuffer, and the
+// banked media.
+//
+// Concurrency effects from §5.3 modeled here:
+//  * the WPQ holds at most `wpq_depth` 64 B entries per DIMM, so a slow
+//    DIMM backs up into the cores (head-of-line blocking);
+//  * a single thread may have at most `wpq_thread_credit` entries
+//    (4 x 64 B = 256 B) in flight, which the paper identifies as a reason
+//    spreading one thread across DIMMs wastes queue parallelism (Fig 16);
+//  * the controller coalesces efficiently for at most `xp_write_streams`
+//    concurrent writers; more writers thrash the write-combining stream
+//    trackers and serialize on the controller, which is what makes
+//    per-DIMM bandwidth *fall* (not just saturate) as writers are added
+//    (Fig 4 center/right, Fig 16).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simtime.h"
+#include "xpsim/counters.h"
+#include "xpsim/media.h"
+#include "xpsim/timing.h"
+#include "xpsim/xpbuffer.h"
+
+namespace xp::hw {
+
+class XpDimm {
+ public:
+  explicit XpDimm(const Timing& t)
+      : timing_(t),
+        media_(t),
+        buffer_(t, media_),
+        ait_(t.ait_cache_entries),
+        ddrt_req_(1),
+        ddrt_rsp_(1),
+        ctrl_(1),
+        wpq_(t.wpq_depth),
+        rpq_(t.rpq_depth),
+        ddrt_64b_(sim::transfer_time(t.cacheline, t.ddrt_gbps)) {}
+
+  // One 64 B write arriving at the iMC at time `t` from `thread`.
+  // Returns the time the write is accepted into the ADR domain (WPQ
+  // admission + DDR-T handoff + XPBuffer merge + controller ack). Stores
+  // are *persistent* from the WPQ onward; this return value is what an
+  // sfence waits for. If `admit_wait` is non-null it receives the time
+  // the write spent waiting for a WPQ slot (used by the UPI lane-hold
+  // model for remote writes).
+  Time write64(Time t, std::uint64_t dimm_addr, unsigned thread,
+               Time* admit_wait = nullptr);
+
+  // One 64 B read. Returns data-arrival time at the iMC.
+  Time read64(Time t, std::uint64_t dimm_addr, unsigned thread);
+
+  const XpCounters& counters() const { return counters_; }
+  XpCounters& counters() { return counters_; }
+  Media& media() { return media_; }
+  XpBuffer& buffer() { return buffer_; }
+
+  // New measurement epoch: forget all reservation state (queues, banks,
+  // credits). Wear, AIT contents and counters persist.
+  void reset_timing();
+
+ private:
+  Time ait_lookup(Time t, std::uint64_t dimm_addr);
+  static bool touch_stream(std::vector<unsigned>& lru, unsigned capacity,
+                           unsigned thread);
+
+  const Timing& timing_;
+  Media media_;
+  XpBuffer buffer_;
+  AitCache ait_;
+  // DDR-T modeled as separate request (commands + write data) and
+  // response (read data) channels so in-flight read returns don't block
+  // later commands.
+  sim::Resource ddrt_req_;
+  sim::Resource ddrt_rsp_;
+  sim::Resource ctrl_;
+  sim::BoundedQueue wpq_;
+  sim::BoundedQueue rpq_;
+  Time ddrt_64b_;
+  XpCounters counters_;
+  std::unordered_map<unsigned, std::deque<Time>> thread_credits_;
+  std::vector<unsigned> write_streams_;  // LRU, front = most recent
+  std::vector<unsigned> read_streams_;
+};
+
+}  // namespace xp::hw

@@ -1,0 +1,247 @@
+// Device-level unit tests: Media (wear, migration stalls), AitCache,
+// XpBuffer coalescing/EWR mechanics, XpDimm queues and stream trackers,
+// DramDimm row buffers, and the UPI link.
+#include <gtest/gtest.h>
+
+#include "xpsim/dram_dimm.h"
+#include "xpsim/media.h"
+#include "xpsim/timing.h"
+#include "xpsim/upi.h"
+#include "xpsim/xpbuffer.h"
+#include "xpsim/xpdimm.h"
+
+namespace xp::hw {
+namespace {
+
+using sim::Time;
+
+// ------------------------------------------------------------------ Media
+TEST(Media, ReadOccupiesBank) {
+  Timing t;
+  Media media(t);
+  XpCounters c;
+  const auto g1 = media.read_line(0, 0, c);
+  EXPECT_EQ(g1.start, 0u);
+  EXPECT_EQ(g1.end, t.xp_media_read);
+  EXPECT_EQ(c.media_read_bytes, t.xpline);
+}
+
+TEST(Media, BanksLimitThroughput) {
+  Timing t;
+  Media media(t);
+  XpCounters c;
+  // xp_banks requests run concurrently; the next one queues.
+  for (unsigned i = 0; i < t.xp_banks; ++i) {
+    EXPECT_EQ(media.read_line(0, i, c).start, 0u);
+  }
+  EXPECT_EQ(media.read_line(0, 99, c).start, t.xp_media_read);
+}
+
+TEST(Media, WearTriggersMigrationAndStall) {
+  Timing t;
+  t.wear_threshold = 4;
+  Media media(t);
+  XpCounters c;
+  for (int i = 0; i < 3; ++i) media.write_line(0, 7, c);
+  EXPECT_EQ(c.wear_migrations, 0u);
+  EXPECT_EQ(media.stall_until(), 0u);
+  media.write_line(0, 7, c);  // 4th write: migration
+  EXPECT_EQ(c.wear_migrations, 1u);
+  EXPECT_GE(media.stall_until(), t.wear_migration);
+  // The controller gate delays requests during the stall.
+  EXPECT_EQ(media.gate(0), media.stall_until());
+  EXPECT_EQ(media.gate(media.stall_until() + 1), media.stall_until() + 1);
+}
+
+TEST(Media, WearIsPerLine) {
+  Timing t;
+  t.wear_threshold = 2;
+  Media media(t);
+  XpCounters c;
+  media.write_line(0, 1, c);
+  media.write_line(0, 2, c);
+  EXPECT_EQ(c.wear_migrations, 0u);
+  EXPECT_EQ(media.wear_of(1), 1u);
+  EXPECT_EQ(media.wear_of(2), 1u);
+  EXPECT_EQ(media.wear_of(3), 0u);
+}
+
+// --------------------------------------------------------------- AitCache
+TEST(AitCache, LruEviction) {
+  AitCache ait(2);
+  EXPECT_FALSE(ait.access(1));
+  EXPECT_FALSE(ait.access(2));
+  EXPECT_TRUE(ait.access(1));   // 1 is now MRU
+  EXPECT_FALSE(ait.access(3));  // evicts 2
+  EXPECT_TRUE(ait.access(1));
+  EXPECT_FALSE(ait.access(2));  // 2 was evicted
+}
+
+// ---------------------------------------------------------------- XpBuffer
+struct BufferFixture : ::testing::Test {
+  BufferFixture() : media(timing), buffer(timing, media) {}
+  Timing timing;
+  Media media;
+  XpBuffer buffer;
+  XpCounters c;
+};
+
+TEST_F(BufferFixture, CoalescesFullLineToOneMediaWrite) {
+  // Four 64 B writes to one XPLine, then force eviction by filling the
+  // buffer: exactly one 256 B media write.
+  for (unsigned sub = 0; sub < 4; ++sub) buffer.write64(0, 0, sub, c);
+  buffer.flush_all(sim::us(1), c);
+  EXPECT_EQ(c.media_write_bytes, timing.xpline);
+  EXPECT_EQ(c.evictions_full, 1u);
+  EXPECT_EQ(c.evictions_partial, 0u);
+}
+
+TEST_F(BufferFixture, PartialEvictionIsRmw) {
+  buffer.write64(0, 0, 0, c);  // one dirty sub-block
+  buffer.flush_all(sim::us(1), c);
+  EXPECT_EQ(c.evictions_partial, 1u);
+  EXPECT_EQ(c.media_read_bytes, timing.xpline);   // the read of the RMW
+  EXPECT_EQ(c.media_write_bytes, timing.xpline);
+}
+
+TEST_F(BufferFixture, FullRewriteFlushesPreviousVersion) {
+  for (unsigned sub = 0; sub < 4; ++sub) buffer.write64(0, 0, sub, c);
+  // Fifth write to the (fully dirty) line starts a fresh combining round
+  // and pushes the old version to media.
+  buffer.write64(sim::us(1), 0, 0, c);
+  EXPECT_EQ(c.media_write_bytes, timing.xpline);
+  EXPECT_EQ(buffer.occupancy(), 1u);
+}
+
+TEST_F(BufferFixture, ReadMissFetchesAndInstalls) {
+  const Time done = buffer.read64(0, 5, c);
+  EXPECT_GE(done, timing.xp_media_read);
+  EXPECT_EQ(c.buffer_miss_reads, 1u);
+  EXPECT_TRUE(buffer.contains(5));
+  buffer.read64(done, 5, c);
+  EXPECT_EQ(c.buffer_hit_reads, 1u);
+}
+
+TEST_F(BufferFixture, CapacityLruEviction) {
+  for (std::uint64_t line = 0; line < timing.xpbuffer_lines; ++line)
+    buffer.write64(line * 10, line, 0, c);
+  EXPECT_EQ(buffer.occupancy(), timing.xpbuffer_lines);
+  // One more allocation evicts the LRU entry (line 0).
+  buffer.write64(sim::us(100), 9999, 0, c);
+  EXPECT_FALSE(buffer.contains(0));
+  EXPECT_TRUE(buffer.contains(9999));
+  EXPECT_EQ(c.evictions_partial, 1u);
+}
+
+TEST_F(BufferFixture, ReadsCompeteForSpace) {
+  // Fill the buffer with clean (read-installed) lines; a write allocation
+  // evicts one of them for free.
+  for (std::uint64_t line = 0; line < timing.xpbuffer_lines; ++line)
+    buffer.read64(line, 1000 + line, c);
+  buffer.write64(sim::us(100), 1, 0, c);
+  EXPECT_EQ(c.evictions_clean, 1u);
+  EXPECT_EQ(c.media_write_bytes, 0u);
+}
+
+// ------------------------------------------------------------------ XpDimm
+TEST(XpDimm, WriteAckDecoupledFromMedia) {
+  Timing t;
+  XpDimm dimm(t);
+  // An isolated 64 B write commits in well under the media write time.
+  const Time ack = dimm.write64(0, 0, /*thread=*/0);
+  EXPECT_LT(ack, t.xp_media_write);
+  EXPECT_EQ(dimm.counters().imc_write_bytes, 64u);
+}
+
+TEST(XpDimm, PerThreadCreditLimitsPipelining) {
+  Timing t;
+  XpDimm dimm(t);
+  // Issue many writes from one thread at t=0: the (k+1)-th write waits
+  // for the k-credit-th ack, so acks space out.
+  for (int i = 0; i < 12; ++i) dimm.write64(0, i * 64, 0);
+  // A second thread is not blocked behind the first thread's credit
+  // (writing into an already-open XPLine, so no allocation penalty),
+  // while thread 0's next write must wait out its credit window.
+  const Time other = dimm.write64(0, 0, /*thread=*/1);
+  const Time thread0_next = dimm.write64(0, 12 * 64, /*thread=*/0);
+  EXPECT_LT(other, thread0_next);
+}
+
+TEST(XpDimm, UntrackedStreamPaysAllocationPenalty) {
+  Timing t;
+  XpDimm dimm(t);
+  // Warm the tracker with 4 writer threads.
+  for (unsigned thr = 0; thr < 4; ++thr)
+    dimm.write64(0, thr * 4096, thr);
+  const Time tracked = dimm.write64(sim::us(2), 0 * 4096 + 256, 0) -
+                       sim::us(2);
+  // A 5th thread's allocation is untracked: slower.
+  const Time untracked = dimm.write64(sim::us(4), 5 * 4096, 7) - sim::us(4);
+  EXPECT_GT(untracked, tracked + t.xp_write_stream_miss / 2);
+}
+
+TEST(XpDimm, ReadLatencyBufferHitVsMiss) {
+  Timing t;
+  XpDimm dimm(t);
+  const Time miss = dimm.read64(0, 0, 0);
+  const Time t1 = sim::us(2);
+  const Time hit = dimm.read64(t1, 64, 0) - t1;  // same XPLine
+  EXPECT_GT(miss, hit * 2);
+}
+
+// ---------------------------------------------------------------- DramDimm
+TEST(DramDimm, RowHitFasterThanMiss) {
+  Timing t;
+  DramDimm dimm(t);
+  const Time miss = dimm.read64(0, 0);
+  const Time t1 = sim::us(1);
+  const Time hit = dimm.read64(t1, 64) - t1;  // same row
+  EXPECT_GT(miss, hit);
+  EXPECT_EQ(dimm.counters().row_hits, 1u);
+  EXPECT_EQ(dimm.counters().row_misses, 1u);
+}
+
+TEST(DramDimm, PmepSlowdownScalesWrites) {
+  Timing t;
+  DramDimm fast(t);
+  DramDimm slow(t);
+  // The ack itself is queue-bound, but the drain occupies banks 8x
+  // longer; hammer one bank and watch the WPQ back up.
+  Time fast_last = 0, slow_last = 0;
+  for (int i = 0; i < 200; ++i) {
+    fast_last = fast.write64(0, 0, 1.0);
+    slow_last = slow.write64(0, 0, 8.0);
+  }
+  EXPECT_GT(slow_last, fast_last);
+}
+
+// -------------------------------------------------------------------- UPI
+TEST(Upi, TransfersSerializePerDirection) {
+  Timing t;
+  UpiLink upi(t);
+  const Time a = upi.outbound(0, sim::ns(10));
+  const Time b = upi.outbound(0, sim::ns(10));
+  EXPECT_EQ(a, sim::ns(10));
+  EXPECT_EQ(b, sim::ns(20));
+  // Inbound is independent.
+  EXPECT_EQ(upi.inbound(0, sim::ns(10)), sim::ns(10));
+}
+
+TEST(Upi, HoldBlocksLaterOutbound) {
+  Timing t;
+  UpiLink upi(t);
+  upi.outbound(0, sim::ns(5));
+  upi.hold_outbound(sim::us(1));
+  EXPECT_GE(upi.outbound(sim::ns(10), sim::ns(5)), sim::us(1));
+}
+
+TEST(Upi, ResetClearsState) {
+  Timing t;
+  UpiLink upi(t);
+  upi.hold_outbound(sim::ms(1));
+  upi.reset_timing();
+  EXPECT_EQ(upi.outbound(0, sim::ns(5)), sim::ns(5));
+}
+
+}  // namespace
+}  // namespace xp::hw

@@ -1,0 +1,469 @@
+// Tests for the mini-RocksDB: WAL, SSTable, persistent skiplist, and the
+// full DB across all three persistence strategies, including crash
+// recovery and the Fig 8 strategy-inversion shape.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lsmkv/bloom.h"
+#include "lsmkv/db.h"
+#include "xpsim/platform.h"
+
+namespace xp::kv {
+namespace {
+
+using hw::Platform;
+using hw::PmemNamespace;
+using sim::ThreadCtx;
+
+ThreadCtx make_thread(unsigned id = 0) {
+  return ThreadCtx({.id = id, .socket = 0, .mlp = 8, .seed = id + 1});
+}
+
+std::string key_of(int i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key-%012d", i);
+  return buf;
+}
+std::string value_of(int i) {
+  std::string v(100, 'v');
+  std::snprintf(v.data(), 16, "val-%d", i);
+  return v;
+}
+
+// ---------------------------------------------------------------- WAL ---
+struct WalFixture : ::testing::Test {
+  WalFixture()
+      : ns(platform.optane(64 << 20)),
+        wal(ns, 0, 1 << 20, WalMode::kFlex, opts) {}
+  Platform platform;
+  PmemNamespace& ns;
+  DbOptions opts;
+  Wal wal;
+};
+
+TEST_F(WalFixture, AppendReplayRoundTrip) {
+  ThreadCtx t = make_thread();
+  wal.truncate(t);
+  wal.append(t, "alpha", "1", false, true);
+  wal.append(t, "beta", "2", false, true);
+  wal.append(t, "alpha", "", true, true);
+
+  std::vector<std::tuple<std::string, std::string, bool>> got;
+  Wal replayer(ns, 0, 1 << 20, WalMode::kFlex, opts);
+  replayer.replay(t, [&](std::string_view k, std::string_view v, bool tomb) {
+    got.emplace_back(std::string(k), std::string(v), tomb);
+  });
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], std::make_tuple(std::string("alpha"), std::string("1"),
+                                    false));
+  EXPECT_EQ(got[2], std::make_tuple(std::string("alpha"), std::string(""),
+                                    true));
+}
+
+TEST_F(WalFixture, TruncateHidesOldRecords) {
+  ThreadCtx t = make_thread();
+  wal.truncate(t);
+  wal.append(t, "old", "x", false, true);
+  wal.truncate(t);
+  wal.append(t, "new", "y", false, true);
+
+  int count = 0;
+  std::string first;
+  Wal replayer(ns, 0, 1 << 20, WalMode::kFlex, opts);
+  replayer.replay(t, [&](std::string_view k, std::string_view, bool) {
+    if (count++ == 0) first = std::string(k);
+  });
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(first, "new");
+}
+
+TEST_F(WalFixture, SyncedRecordsSurviveCrash) {
+  ThreadCtx t = make_thread();
+  wal.truncate(t);
+  wal.append(t, "durable", "yes", false, true);
+  platform.crash();
+  int count = 0;
+  Wal replayer(ns, 0, 1 << 20, WalMode::kFlex, opts);
+  replayer.replay(t, [&](std::string_view, std::string_view, bool) {
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(WalFixture, PosixModeCostsMoreTime) {
+  ThreadCtx t1 = make_thread(1);
+  Wal posix(ns, 8 << 20, 1 << 20, WalMode::kPosix, opts);
+  posix.truncate(t1);
+  const sim::Time p0 = t1.now();
+  for (int i = 0; i < 100; ++i) posix.append(t1, key_of(i), value_of(i),
+                                             false, true);
+  const sim::Time posix_time = t1.now() - p0;
+
+  ThreadCtx t2 = make_thread(2);
+  Wal flex(ns, 16 << 20, 1 << 20, WalMode::kFlex, opts);
+  flex.truncate(t2);
+  const sim::Time f0 = t2.now();
+  for (int i = 0; i < 100; ++i) flex.append(t2, key_of(i), value_of(i),
+                                            false, true);
+  const sim::Time flex_time = t2.now() - f0;
+
+  EXPECT_GT(posix_time, flex_time);
+}
+
+// ------------------------------------------------------------- SSTable --
+TEST(SsTableTest, BuildAndGet) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(64 << 20);
+  ThreadCtx t = make_thread();
+  std::vector<SsTable::Entry> entries;
+  for (int i = 0; i < 100; ++i)
+    entries.push_back({key_of(i), value_of(i), false});
+  const std::uint64_t size = SsTable::build(t, ns, 4096, entries);
+  EXPECT_EQ(size, SsTable::encoded_size(entries));
+  EXPECT_EQ(SsTable::count(t, ns, 4096), 100u);
+
+  std::string v;
+  EXPECT_EQ(SsTable::get(t, ns, 4096, key_of(50), &v), FindResult::kFound);
+  EXPECT_EQ(v, value_of(50));
+  EXPECT_EQ(SsTable::get(t, ns, 4096, key_of(0), &v), FindResult::kFound);
+  EXPECT_EQ(SsTable::get(t, ns, 4096, key_of(99), &v), FindResult::kFound);
+  EXPECT_EQ(SsTable::get(t, ns, 4096, "missing", &v),
+            FindResult::kNotFound);
+}
+
+TEST(SsTableTest, TombstonesReported) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(64 << 20);
+  ThreadCtx t = make_thread();
+  std::vector<SsTable::Entry> entries{{key_of(1), "", true},
+                                      {key_of(2), "live", false}};
+  SsTable::build(t, ns, 0, entries);
+  std::string v;
+  EXPECT_EQ(SsTable::get(t, ns, 0, key_of(1), &v), FindResult::kTombstone);
+  EXPECT_EQ(SsTable::get(t, ns, 0, key_of(2), &v), FindResult::kFound);
+}
+
+TEST(SsTableTest, ForEachIteratesInOrder) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(64 << 20);
+  ThreadCtx t = make_thread();
+  std::vector<SsTable::Entry> entries;
+  for (int i = 0; i < 20; ++i) entries.push_back({key_of(i), value_of(i),
+                                                  false});
+  SsTable::build(t, ns, 0, entries);
+  std::vector<std::string> keys;
+  SsTable::for_each(t, ns, 0,
+                    [&](std::string_view k, std::string_view, bool) {
+                      keys.emplace_back(k);
+                    });
+  ASSERT_EQ(keys.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(SsTableTest, SurvivesCrash) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(64 << 20);
+  ThreadCtx t = make_thread();
+  std::vector<SsTable::Entry> entries{{key_of(7), value_of(7), false}};
+  SsTable::build(t, ns, 0, entries);
+  platform.crash();
+  std::string v;
+  EXPECT_EQ(SsTable::get(t, ns, 0, key_of(7), &v), FindResult::kFound);
+  EXPECT_EQ(v, value_of(7));
+}
+
+
+// ------------------------------------------------------------- bloom ----
+TEST(Bloom, NoFalseNegatives) {
+  BloomBuilder b(1000);
+  for (int i = 0; i < 1000; ++i) b.add(key_of(i));
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_TRUE(BloomBuilder::may_contain(b.bits().data(), b.bits().size(),
+                                          key_of(i)))
+        << i;
+}
+
+TEST(Bloom, LowFalsePositiveRate) {
+  BloomBuilder b(1000);
+  for (int i = 0; i < 1000; ++i) b.add(key_of(i));
+  int fp = 0;
+  for (int i = 1000; i < 11000; ++i)
+    fp += BloomBuilder::may_contain(b.bits().data(), b.bits().size(),
+                                    key_of(i));
+  EXPECT_LT(fp, 300);  // < 3% at 10 bits/key
+}
+
+TEST(Bloom, EmptyFilterCannotExclude) {
+  EXPECT_TRUE(BloomBuilder::may_contain(nullptr, 0, "anything"));
+}
+
+TEST(SsTableTest, BloomSkipsAbsentKeyProbes) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(64 << 20);
+  ThreadCtx t = make_thread();
+  std::vector<SsTable::Entry> entries;
+  for (int i = 0; i < 2000; ++i)
+    entries.push_back({key_of(i), value_of(i), false});
+  SsTable::build(t, ns, 0, entries);
+
+  // Absent-key lookups should cost far less simulated time than present-
+  // key lookups: the bloom filter (cache-resident after warmup) replaces
+  // the ~11-probe binary search.
+  std::string v;
+  for (int i = 0; i < 50; ++i)  // warm the filter into the CPU cache
+    SsTable::get(t, ns, 0, key_of(100000 + i), &v);
+  const sim::Time a0 = t.now();
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(SsTable::get(t, ns, 0, key_of(200000 + i), &v),
+              FindResult::kNotFound);
+  const sim::Time absent = t.now() - a0;
+  const sim::Time p0 = t.now();
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(SsTable::get(t, ns, 0, key_of(i * 7 % 2000), &v),
+              FindResult::kFound);
+  const sim::Time present = t.now() - p0;
+  EXPECT_LT(absent * 3, present);
+}
+
+// ---------------------------------------------------- persistent skiplist
+struct PSkipFixture : ::testing::Test {
+  PSkipFixture() : ns(platform.optane(256 << 20)), pool(ns) {
+    ThreadCtx t = make_thread();
+    pool.create(t, 64);
+    list = std::make_unique<PSkiplist>(pool, pool.root(t));
+    list->create(t);
+  }
+  Platform platform;
+  PmemNamespace& ns;
+  pmem::Pool pool;
+  std::unique_ptr<PSkiplist> list;
+};
+
+TEST_F(PSkipFixture, PutGet) {
+  ThreadCtx t = make_thread();
+  list->put(t, "k1", "v1", false);
+  list->put(t, "k2", "v2", false);
+  std::string v;
+  EXPECT_EQ(list->get(t, "k1", &v), FindResult::kFound);
+  EXPECT_EQ(v, "v1");
+  EXPECT_EQ(list->get(t, "nope", &v), FindResult::kNotFound);
+}
+
+TEST_F(PSkipFixture, NewestVersionWins) {
+  ThreadCtx t = make_thread();
+  list->put(t, "k", "old", false);
+  list->put(t, "k", "new", false);
+  std::string v;
+  EXPECT_EQ(list->get(t, "k", &v), FindResult::kFound);
+  EXPECT_EQ(v, "new");
+}
+
+TEST_F(PSkipFixture, TombstoneShadows) {
+  ThreadCtx t = make_thread();
+  list->put(t, "k", "v", false);
+  list->put(t, "k", "", true);
+  std::string v;
+  EXPECT_EQ(list->get(t, "k", &v), FindResult::kTombstone);
+}
+
+TEST_F(PSkipFixture, SortedDedupedIteration) {
+  ThreadCtx t = make_thread();
+  for (int i = 9; i >= 0; --i) list->put(t, key_of(i), value_of(i), false);
+  list->put(t, key_of(5), "updated", false);
+  std::vector<std::string> keys;
+  std::string v5;
+  list->for_each(t, [&](std::string_view k, std::string_view v, bool) {
+    keys.emplace_back(k);
+    if (k == key_of(5)) v5 = std::string(v);
+  });
+  ASSERT_EQ(keys.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(v5, "updated");
+}
+
+TEST_F(PSkipFixture, InsertsSurviveCrashWithoutLog) {
+  ThreadCtx t = make_thread();
+  for (int i = 0; i < 50; ++i) list->put(t, key_of(i), value_of(i), false);
+  platform.crash();
+
+  pmem::Pool reopened(ns);
+  ASSERT_TRUE(reopened.open(t));
+  PSkiplist recovered(reopened, reopened.root(t));
+  recovered.open(t);
+  std::string v;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(recovered.get(t, key_of(i), &v), FindResult::kFound) << i;
+    EXPECT_EQ(v, value_of(i));
+  }
+}
+
+TEST_F(PSkipFixture, FootprintCountsEntries) {
+  ThreadCtx t = make_thread();
+  for (int i = 0; i < 10; ++i) list->put(t, key_of(i), value_of(i), false);
+  const auto fp = list->footprint(t);
+  EXPECT_EQ(fp.entries, 10u);
+  EXPECT_EQ(fp.bytes, 10 * (key_of(0).size() + 100));
+}
+
+// -------------------------------------------------------------- full DB --
+struct DbParam {
+  WalMode wal;
+  MemtableMode memtable;
+  const char* name;
+};
+
+class DbModes : public ::testing::TestWithParam<DbParam> {
+ protected:
+  DbOptions make_opts() const {
+    DbOptions o;
+    o.wal = GetParam().wal;
+    o.memtable = GetParam().memtable;
+    o.memtable_bytes = 16 << 10;  // small so flush/compaction paths run
+    return o;
+  }
+};
+
+TEST_P(DbModes, PutGetAcrossFlushesAndCompactions) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(256 << 20);
+  ThreadCtx t = make_thread();
+  Db db(ns, make_opts());
+  db.create(t);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) db.put(t, key_of(i), value_of(i));
+  EXPECT_GT(db.stats().memtable_flushes, 2u);
+  std::string v;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(db.get(t, key_of(i), &v)) << i;
+    EXPECT_EQ(v, value_of(i));
+  }
+  EXPECT_FALSE(db.get(t, "absent", &v));
+}
+
+TEST_P(DbModes, OverwriteReturnsLatest) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(256 << 20);
+  ThreadCtx t = make_thread();
+  Db db(ns, make_opts());
+  db.create(t);
+  for (int round = 0; round < 3; ++round)
+    for (int i = 0; i < 300; ++i)
+      db.put(t, key_of(i), value_of(i + round * 1000));
+  std::string v;
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(db.get(t, key_of(i), &v));
+    EXPECT_EQ(v, value_of(i + 2000));
+  }
+}
+
+TEST_P(DbModes, DeleteShadowsOlderVersions) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(256 << 20);
+  ThreadCtx t = make_thread();
+  Db db(ns, make_opts());
+  db.create(t);
+  for (int i = 0; i < 400; ++i) db.put(t, key_of(i), value_of(i));
+  for (int i = 0; i < 400; i += 2) db.del(t, key_of(i));
+  std::string v;
+  for (int i = 0; i < 400; ++i) {
+    EXPECT_EQ(db.get(t, key_of(i), &v), i % 2 == 1) << i;
+  }
+}
+
+TEST_P(DbModes, CrashRecoveryKeepsSyncedWrites) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(256 << 20);
+  ThreadCtx t = make_thread();
+  {
+    Db db(ns, make_opts());
+    db.create(t);
+    for (int i = 0; i < 500; ++i) db.put(t, key_of(i), value_of(i));
+    platform.crash();
+  }
+  Db db2(ns, make_opts());
+  ASSERT_TRUE(db2.open(t));
+  std::string v;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(db2.get(t, key_of(i), &v)) << i;
+    EXPECT_EQ(v, value_of(i));
+  }
+}
+
+
+// ------------------------------------------------------------------ scan
+TEST_P(DbModes, ScanMergesAllLevels) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(256 << 20);
+  ThreadCtx t = make_thread();
+  Db db(ns, make_opts());
+  db.create(t);
+  for (int i = 0; i < 500; ++i) db.put(t, key_of(i), value_of(i));
+  db.put(t, key_of(100), "fresh");  // newer version in the memtable
+  db.del(t, key_of(101));
+
+  const auto rows = db.scan(t, key_of(99), 5);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].first, key_of(99));
+  EXPECT_EQ(rows[1].first, key_of(100));
+  EXPECT_EQ(rows[1].second, "fresh");
+  EXPECT_EQ(rows[2].first, key_of(102));  // 101 deleted
+  EXPECT_EQ(rows[3].first, key_of(103));
+}
+
+TEST_P(DbModes, ScanFromBeyondEndIsEmpty) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(256 << 20);
+  ThreadCtx t = make_thread();
+  Db db(ns, make_opts());
+  db.create(t);
+  db.put(t, key_of(1), value_of(1));
+  EXPECT_TRUE(db.scan(t, "zzzz", 10).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, DbModes,
+    ::testing::Values(
+        DbParam{WalMode::kPosix, MemtableMode::kVolatile, "posix"},
+        DbParam{WalMode::kFlex, MemtableMode::kVolatile, "flex"},
+        DbParam{WalMode::kNone, MemtableMode::kPersistent, "pskip"}),
+    [](const auto& info) { return info.param.name; });
+
+// ---- Fig 8 anchor -------------------------------------------------------
+double set_throughput(hw::Device device, WalMode wal, MemtableMode mem) {
+  Platform platform;
+  PmemNamespace& ns = device == hw::Device::kXp
+                          ? platform.optane(512 << 20)
+                          : platform.dram(512 << 20);
+  ThreadCtx t = make_thread();
+  DbOptions o;
+  o.wal = wal;
+  o.memtable = mem;
+  Db db(ns, o);
+  db.create(t);
+  const int n = 3000;
+  const sim::Time t0 = t.now();
+  for (int i = 0; i < n; ++i) db.put(t, key_of(i * 7919 % 100000),
+                                     value_of(i));
+  return n / sim::to_s(t.now() - t0);
+}
+
+TEST(Fig8Shape, StrategyInversionBetweenDramAndOptane) {
+  const double dram_flex = set_throughput(
+      hw::Device::kDram, WalMode::kFlex, MemtableMode::kVolatile);
+  const double dram_pskip = set_throughput(
+      hw::Device::kDram, WalMode::kNone, MemtableMode::kPersistent);
+  const double xp_flex = set_throughput(
+      hw::Device::kXp, WalMode::kFlex, MemtableMode::kVolatile);
+  const double xp_pskip = set_throughput(
+      hw::Device::kXp, WalMode::kNone, MemtableMode::kPersistent);
+
+  // Paper Fig 8: on DRAM the persistent memtable wins; on real Optane the
+  // conclusion inverts and FLEX wins.
+  EXPECT_GT(dram_pskip, dram_flex);
+  EXPECT_GT(xp_flex, xp_pskip);
+}
+
+}  // namespace
+}  // namespace xp::kv

@@ -1,0 +1,172 @@
+// Tests for Memory Mode: correctness of the near-memory cache, hit/miss
+// timing, volatility semantics, and the §6 claim that the DRAM cache
+// masks App Direct's small-access pathologies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "lattester/runner.h"
+#include "xpsim/memory_mode.h"
+#include "xpsim/platform.h"
+
+namespace xp::hw {
+namespace {
+
+using sim::ThreadCtx;
+using sim::Time;
+
+ThreadCtx make_thread(unsigned id = 0) {
+  return ThreadCtx({.id = id, .socket = 0, .mlp = 8, .seed = id + 1});
+}
+
+std::vector<std::uint8_t> pattern(std::size_t n, unsigned seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::uint8_t>(i * 31 + seed + 1);
+  return v;
+}
+
+TEST(MemoryModeChannel, HitAfterMiss) {
+  Timing timing;
+  Platform platform(timing);
+  MemoryModeChannel& mm = platform.memory_mode_channel(0, 0);
+  ThreadCtx t = make_thread();
+  EXPECT_EQ(mm.hits(), 0u);
+  mm.read64(t.now(), 4096, t.id());
+  EXPECT_EQ(mm.misses(), 1u);
+  mm.read64(sim::us(1), 4096, t.id());
+  EXPECT_EQ(mm.hits(), 1u);
+}
+
+TEST(MemoryModeChannel, HitMuchFasterThanMiss) {
+  Timing timing;
+  Platform platform(timing);
+  MemoryModeChannel& mm = platform.memory_mode_channel(0, 0);
+  ThreadCtx t = make_thread();
+  const Time miss = mm.read64(0, 0, 0);
+  const Time t1 = sim::us(10);
+  const Time hit = mm.read64(t1, 0, 0) - t1;
+  EXPECT_GT(miss, hit * 2);
+}
+
+TEST(MemoryModeChannel, ConflictEvictsAndWritesBackDirty) {
+  Timing timing;
+  Platform platform(timing);
+  MemoryModeChannel& mm = platform.memory_mode_channel(0, 0);
+  // Two far addresses that map to the same direct-mapped set.
+  const std::uint64_t a = 0;
+  const std::uint64_t b = mm.sets() * timing.cacheline;  // aliases a
+  mm.write64(0, a, 0);                  // dirty in near memory
+  const auto xp_before = platform.xp_dimm(0, 0).counters().imc_write_bytes;
+  mm.read64(sim::us(1), b, 0);          // conflict: a must be written back
+  const auto xp_after = platform.xp_dimm(0, 0).counters().imc_write_bytes;
+  EXPECT_GT(xp_after, xp_before);
+}
+
+TEST(MemoryMode, DataRoundTrips) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane_memory_mode(1 << 30);
+  ThreadCtx t = make_thread();
+  const auto data = pattern(5000, 3);
+  ns.store(t, 12345, data);
+  std::vector<std::uint8_t> out(5000);
+  ns.load(t, 12345, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemoryMode, ContentsAreVolatile) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane_memory_mode(1 << 30);
+  ThreadCtx t = make_thread();
+  const auto data = pattern(64, 1);
+  ns.store_persist(t, 0, data);  // even "persisted" data is volatile here
+  platform.crash();
+  std::vector<std::uint8_t> out(64);
+  ns.peek(0, out);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 0);
+}
+
+TEST(MemoryMode, AppDirectNeighborsUnaffectedByCrash) {
+  Platform platform;
+  PmemNamespace& volatile_ns = platform.optane_memory_mode(1 << 30);
+  PmemNamespace& durable_ns = platform.optane(1 << 30);
+  ThreadCtx t = make_thread();
+  const auto data = pattern(64, 2);
+  volatile_ns.store_persist(t, 0, data);
+  durable_ns.store_persist(t, 0, data);
+  platform.crash();
+  std::vector<std::uint8_t> out(64);
+  durable_ns.peek(0, out);
+  EXPECT_EQ(out, data);
+  volatile_ns.peek(0, out);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 0);
+}
+
+TEST(MemoryMode, CacheResidentRandomAccessNearDramSpeed) {
+  // §6: the DRAM cache masks the small-random-access pathology.
+  auto bw = [&](bool memory_mode) {
+    Platform platform;
+    NamespaceOptions o;
+    o.device = Device::kXp;
+    o.memory_mode = memory_mode;
+    o.size = 4ull << 30;
+    o.discard_data = true;
+    auto& ns = platform.add_namespace(o);
+    lat::WorkloadSpec spec;
+    spec.op = lat::Op::kNtStore;
+    spec.pattern = lat::Pattern::kRand;
+    spec.access_size = 64;
+    spec.threads = 4;
+    spec.region_size = 64 << 20;
+    spec.warmup = sim::ms(1);
+    spec.duration = sim::ms(1);
+    return lat::run(platform, ns, spec).bandwidth_gbps;
+  };
+  const double app_direct = bw(false);
+  const double memory_mode = bw(true);
+  EXPECT_GT(memory_mode, 3 * app_direct);
+}
+
+
+// --------------------------------------------------------------- eADR ---
+TEST(Eadr, PlainStoresSurviveCrash) {
+  Timing timing;
+  timing.eadr = true;
+  Platform platform(timing);
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t = make_thread();
+  const auto data = pattern(64, 7);
+  ns.store(t, 0, data);  // no flush, no fence
+  platform.crash();
+  std::vector<std::uint8_t> out(64);
+  ns.peek(0, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Eadr, OffByDefaultStoresStillLost) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t = make_thread();
+  ns.store(t, 0, pattern(64, 8));
+  platform.crash();
+  std::vector<std::uint8_t> out(64);
+  ns.peek(0, out);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 0);
+}
+
+TEST(Eadr, MemoryModeStaysVolatileEvenWithEadr) {
+  Timing timing;
+  timing.eadr = true;
+  Platform platform(timing);
+  PmemNamespace& ns = platform.optane_memory_mode(1 << 30);
+  ThreadCtx t = make_thread();
+  ns.store(t, 0, pattern(64, 9));
+  platform.crash();
+  std::vector<std::uint8_t> out(64);
+  ns.peek(0, out);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 0);
+}
+
+}  // namespace
+}  // namespace xp::hw

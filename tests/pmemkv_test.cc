@@ -1,0 +1,174 @@
+// Tests for the mini-PMemKV cmap engine: correctness, persistence,
+// concurrent simulated access, and the Fig 19 NUMA-degradation shape.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pmemkv/cmap.h"
+#include "sim/scheduler.h"
+#include "xpsim/platform.h"
+
+namespace xp::pmemkv {
+namespace {
+
+using hw::Platform;
+using hw::PmemNamespace;
+using sim::ThreadCtx;
+
+ThreadCtx make_thread(unsigned id = 0, unsigned socket = 0) {
+  return ThreadCtx({.id = id, .socket = socket, .mlp = 16, .seed = id + 1});
+}
+
+struct CMapFixture : ::testing::Test {
+  CMapFixture() : ns(platform.optane(256 << 20)), pool(ns), map(pool) {
+    ThreadCtx t = make_thread();
+    pool.create(t, 64);
+    map.create(t);
+  }
+  Platform platform;
+  PmemNamespace& ns;
+  pmem::Pool pool;
+  CMap map;
+};
+
+TEST_F(CMapFixture, PutGetRemove) {
+  ThreadCtx t = make_thread();
+  map.put(t, "alpha", "one");
+  map.put(t, "beta", "two");
+  std::string v;
+  EXPECT_TRUE(map.get(t, "alpha", &v));
+  EXPECT_EQ(v, "one");
+  EXPECT_TRUE(map.get(t, "beta", &v));
+  EXPECT_EQ(v, "two");
+  EXPECT_FALSE(map.get(t, "gamma", &v));
+  EXPECT_TRUE(map.remove(t, "alpha"));
+  EXPECT_FALSE(map.get(t, "alpha", &v));
+  EXPECT_FALSE(map.remove(t, "alpha"));
+}
+
+TEST_F(CMapFixture, InPlaceOverwrite) {
+  ThreadCtx t = make_thread();
+  map.put(t, "k", "aaaa");
+  map.put(t, "k", "bbbb");  // same size: in-place
+  std::string v;
+  EXPECT_TRUE(map.get(t, "k", &v));
+  EXPECT_EQ(v, "bbbb");
+}
+
+TEST_F(CMapFixture, SizeChangingOverwrite) {
+  ThreadCtx t = make_thread();
+  map.put(t, "k", "short");
+  map.put(t, "k", "a much longer value than before");
+  std::string v;
+  EXPECT_TRUE(map.get(t, "k", &v));
+  EXPECT_EQ(v, "a much longer value than before");
+  EXPECT_EQ(map.count(t), 1u);
+}
+
+TEST_F(CMapFixture, ManyKeysWithCollisions) {
+  ThreadCtx t = make_thread();
+  const int n = 2000;  // > buckets/32, plenty of chaining
+  for (int i = 0; i < n; ++i)
+    map.put(t, "key" + std::to_string(i), "val" + std::to_string(i));
+  EXPECT_EQ(map.count(t), static_cast<std::uint64_t>(n));
+  std::string v;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(map.get(t, "key" + std::to_string(i), &v)) << i;
+    EXPECT_EQ(v, "val" + std::to_string(i));
+  }
+}
+
+TEST_F(CMapFixture, SurvivesCrash) {
+  ThreadCtx t = make_thread();
+  for (int i = 0; i < 100; ++i)
+    map.put(t, "key" + std::to_string(i), "val" + std::to_string(i));
+  platform.crash();
+
+  pmem::Pool pool2(ns);
+  ASSERT_TRUE(pool2.open(t));
+  CMap map2(pool2);
+  map2.open(t);
+  std::string v;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(map2.get(t, "key" + std::to_string(i), &v)) << i;
+    EXPECT_EQ(v, "val" + std::to_string(i));
+  }
+}
+
+TEST_F(CMapFixture, ConcurrentSimThreads) {
+  // 8 simulated threads hammer disjoint key ranges.
+  sim::Scheduler sched;
+  for (unsigned j = 0; j < 8; ++j) {
+    sched.spawn({.id = j, .socket = 0, .mlp = 16, .seed = j + 1},
+                [&, j, i = 0](ThreadCtx& ctx) mutable {
+                  map.put(ctx, "t" + std::to_string(j) + "-" +
+                                   std::to_string(i),
+                          std::string(100, static_cast<char>('a' + j)));
+                  return ++i < 50;
+                });
+  }
+  sched.run();
+  ThreadCtx t = make_thread();
+  EXPECT_EQ(map.count(t), 400u);
+  std::string v;
+  EXPECT_TRUE(map.get(t, "t3-49", &v));
+  EXPECT_EQ(v, std::string(100, 'd'));
+}
+
+// ---- Fig 19 anchor ------------------------------------------------------
+double overwrite_bw(hw::Device device, unsigned server_socket,
+                    unsigned threads) {
+  Platform platform;
+  PmemNamespace& ns = device == hw::Device::kXp
+                          ? platform.optane(512 << 20, /*socket=*/0)
+                          : platform.dram(512 << 20, /*socket=*/0);
+  pmem::Pool pool(ns);
+  CMap map(pool);
+  {
+    ThreadCtx t = make_thread(100, 0);
+    pool.create(t, 64);
+    map.create(t);
+    for (int i = 0; i < 2000; ++i)
+      map.put(t, "key" + std::to_string(i), std::string(512, 'x'));
+  }
+  platform.reset_timing();
+
+  sim::Scheduler sched;
+  std::vector<std::uint64_t> bytes(threads, 0);
+  const sim::Time window = sim::ms(1);
+  for (unsigned j = 0; j < threads; ++j) {
+    sched.spawn(
+        {.id = j, .socket = server_socket, .mlp = 16, .seed = j + 5},
+        [&, j](ThreadCtx& ctx) {
+          if (ctx.now() >= window) return false;
+          const int k = static_cast<int>(ctx.rng().uniform(2000));
+          std::string v;
+          map.get(ctx, "key" + std::to_string(k), &v);
+          map.put(ctx, "key" + std::to_string(k), std::string(512, 'y'));
+          bytes[j] += 1024;
+          return true;
+        });
+  }
+  sched.run();
+  std::uint64_t total = 0;
+  for (auto b : bytes) total += b;
+  return sim::gbps(total, window);
+}
+
+TEST(Fig19Shape, RemoteOptaneDegradesMoreThanDram) {
+  const double xp_local = overwrite_bw(hw::Device::kXp, 0, 8);
+  const double xp_remote = overwrite_bw(hw::Device::kXp, 1, 8);
+  const double dram_local = overwrite_bw(hw::Device::kDram, 0, 8);
+  const double dram_remote = overwrite_bw(hw::Device::kDram, 1, 8);
+
+  // Paper: migrating the server to the remote socket costs Optane ~75%
+  // of its throughput but DRAM only ~8%.
+  EXPECT_LT(xp_remote, 0.6 * xp_local);
+  EXPECT_GT(dram_remote, 0.55 * dram_local);
+  // And the Optane hit is relatively larger than the DRAM hit.
+  EXPECT_LT(xp_remote / xp_local, dram_remote / dram_local);
+}
+
+}  // namespace
+}  // namespace xp::pmemkv

@@ -1,0 +1,196 @@
+// Cross-module property tests.
+//
+//  * Persistence oracle: a random program of stores/ntstores/flushes/
+//    fences against a reference model that tracks exactly which bytes are
+//    durable; after a crash the platform must agree byte-for-byte.
+//  * Concurrent transactions in separate lanes roll back independently.
+//  * End-to-end determinism: identical seeds give identical simulations.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "lattester/runner.h"
+#include "pmemlib/pool.h"
+#include "sim/scheduler.h"
+#include "xpsim/platform.h"
+
+namespace xp {
+namespace {
+
+using hw::Platform;
+using hw::PmemNamespace;
+using sim::ThreadCtx;
+
+// --------------------------------------------------- persistence oracle --
+// The region is kept far smaller than the LLC so no natural evictions
+// occur: a plain store is durable if and only if it was clwb'd/clflushed
+// (or written with ntstore) before the crash. The oracle maintains both
+// the volatile view and the durable view.
+class PersistenceOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PersistenceOracle, CrashStateMatchesReference) {
+  constexpr std::uint64_t kRegion = 64 << 10;
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t({.id = 0, .socket = 0, .mlp = 8, .seed = 77});
+  sim::Rng rng(GetParam());
+
+  std::vector<std::uint8_t> volatile_ref(kRegion, 0);
+  std::vector<std::uint8_t> durable_ref(kRegion, 0);
+  // Per-line dirty flags in the reference cache model.
+  std::vector<bool> line_dirty(kRegion / 64, false);
+
+  for (int op = 0; op < 300; ++op) {
+    const unsigned kind = static_cast<unsigned>(rng.uniform(5));
+    const std::size_t len = 1 + rng.uniform(300);
+    const std::uint64_t off = rng.uniform(kRegion - len);
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+
+    switch (kind) {
+      case 0:
+      case 1: {  // cached store: volatile until flushed
+        ns.store(t, off, data);
+        std::memcpy(volatile_ref.data() + off, data.data(), len);
+        for (std::uint64_t l = off / 64; l <= (off + len - 1) / 64; ++l)
+          line_dirty[l] = true;
+        break;
+      }
+      case 2: {  // ntstore: durable at the fence; we fence immediately
+        ns.ntstore_persist(t, off, data);
+        // An ntstore invalidates any dirty cached copy of the touched
+        // lines, which writes the *whole line's* pending data back first
+        // (write-back-invalidate), then the non-temporal bytes land.
+        for (std::uint64_t l = off / 64; l <= (off + len - 1) / 64; ++l) {
+          if (line_dirty[l]) {
+            std::memcpy(durable_ref.data() + l * 64,
+                        volatile_ref.data() + l * 64, 64);
+            line_dirty[l] = false;
+          }
+        }
+        std::memcpy(volatile_ref.data() + off, data.data(), len);
+        std::memcpy(durable_ref.data() + off, data.data(), len);
+        break;
+      }
+      case 3: {  // clwb of a random range + fence
+        const std::size_t flen = 1 + rng.uniform(600);
+        const std::uint64_t foff = rng.uniform(kRegion - flen);
+        ns.persist(t, foff, flen);
+        for (std::uint64_t l = foff / 64; l <= (foff + flen - 1) / 64;
+             ++l) {
+          if (line_dirty[l]) {
+            std::memcpy(durable_ref.data() + l * 64,
+                        volatile_ref.data() + l * 64, 64);
+            line_dirty[l] = false;
+          }
+        }
+        break;
+      }
+      case 4: {  // volatile read-back must always match
+        std::vector<std::uint8_t> out(len);
+        ns.load(t, off, out);
+        ASSERT_EQ(0, std::memcmp(out.data(), volatile_ref.data() + off,
+                                 len))
+            << "volatile mismatch at op " << op;
+        break;
+      }
+    }
+  }
+
+  platform.crash();
+  std::vector<std::uint8_t> image(kRegion);
+  ns.peek(0, image);
+  ASSERT_EQ(0, std::memcmp(image.data(), durable_ref.data(), kRegion))
+      << "durable image diverged from the oracle";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PersistenceOracle,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ------------------------------------------------- multi-lane txs -------
+TEST(TxLanes, ConcurrentTransactionsRollBackIndependently) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(64 << 20);
+  ThreadCtx setup({.id = 0, .socket = 0, .mlp = 8, .seed = 1});
+  pmem::Pool pool(ns);
+  pool.create(setup, 256);
+  const std::uint64_t root = pool.root(setup);
+  for (int slot = 0; slot < 4; ++slot)
+    pmem::store_persist_pod(setup, ns, root + slot * 8,
+                            std::uint64_t(slot + 1));
+
+  // Two sim threads (distinct lanes): thread A commits, thread B crashes
+  // mid-transaction.
+  ThreadCtx ta({.id = 0, .socket = 0, .mlp = 8, .seed = 2});
+  ThreadCtx tb({.id = 1, .socket = 0, .mlp = 8, .seed = 3});
+  {
+    pmem::Tx txa(pool, ta);
+    pmem::Tx txb(pool, tb);
+    ASSERT_NE(txa.lane(), txb.lane());
+    const std::uint64_t a_new = 100, b_new = 200;
+    txa.add(root, 8);
+    txa.store(root, std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(&a_new), 8));
+    txb.add(root + 8, 8);
+    txb.store(root + 8, std::span<const std::uint8_t>(
+                            reinterpret_cast<const std::uint8_t*>(&b_new),
+                            8));
+    txa.commit();
+    platform.crash();
+    txb.release();  // process died mid-transaction
+  }
+  pmem::Pool recovered(ns);
+  ASSERT_TRUE(recovered.open(setup));
+  EXPECT_EQ(ns.load_pod<std::uint64_t>(setup, root), 100u);      // committed
+  EXPECT_EQ(ns.load_pod<std::uint64_t>(setup, root + 8), 2u);    // rolled back
+  EXPECT_EQ(ns.load_pod<std::uint64_t>(setup, root + 16), 3u);   // untouched
+}
+
+// ---------------------------------------------------- determinism -------
+TEST(Determinism, IdenticalSeedsIdenticalResults) {
+  auto run_once = [] {
+    Platform platform(hw::Timing{}, /*seed=*/123);
+    hw::NamespaceOptions o;
+    o.device = hw::Device::kXp;
+    o.size = 1ull << 30;
+    o.discard_data = true;
+    auto& ns = platform.add_namespace(o);
+    lat::WorkloadSpec spec;
+    spec.op = lat::Op::kMixed;
+    spec.pattern = lat::Pattern::kRand;
+    spec.access_size = 256;
+    spec.threads = 6;
+    spec.region_size = o.size;
+    spec.duration = sim::ms(1);
+    spec.seed = 99;
+    const lat::Result r = lat::run(platform, ns, spec);
+    return std::make_tuple(r.ops, r.bytes, r.latency.max(),
+                           r.xp_delta.media_write_bytes);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  auto run_with = [](std::uint64_t seed) {
+    Platform platform;
+    hw::NamespaceOptions o;
+    o.device = hw::Device::kXp;
+    o.size = 1ull << 30;
+    o.discard_data = true;
+    auto& ns = platform.add_namespace(o);
+    lat::WorkloadSpec spec;
+    spec.op = lat::Op::kNtStore;
+    spec.pattern = lat::Pattern::kRand;
+    spec.access_size = 64;
+    spec.threads = 2;
+    spec.region_size = o.size;
+    spec.duration = sim::us(200);
+    spec.seed = seed;
+    return lat::run(platform, ns, spec).xp_delta.media_write_bytes;
+  };
+  EXPECT_NE(run_with(1), run_with(2));
+}
+
+}  // namespace
+}  // namespace xp

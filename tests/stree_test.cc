@@ -1,0 +1,176 @@
+// Tests for the STree engine: basic ops, splits, crash recovery (with
+// mid-split power failures), scans, and a randomized reference check.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pmemkv/stree.h"
+#include "xpsim/platform.h"
+
+namespace xp::pmemkv {
+namespace {
+
+using hw::Platform;
+using hw::PmemNamespace;
+using sim::ThreadCtx;
+
+ThreadCtx make_thread(unsigned id = 0) {
+  return ThreadCtx({.id = id, .socket = 0, .mlp = 16, .seed = id + 1});
+}
+
+std::string key_of(int i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key-%08d", i);
+  return buf;
+}
+
+struct STreeFixture : ::testing::Test {
+  STreeFixture() : ns(platform.optane(256 << 20)), pool(ns), tree(pool) {
+    ThreadCtx t = make_thread();
+    pool.create(t, 64);
+    tree.create(t);
+  }
+  Platform platform;
+  PmemNamespace& ns;
+  pmem::Pool pool;
+  STree tree;
+};
+
+TEST_F(STreeFixture, PutGetRemove) {
+  ThreadCtx t = make_thread();
+  EXPECT_TRUE(tree.put(t, "alpha", "1"));
+  EXPECT_TRUE(tree.put(t, "beta", "2"));
+  std::string v;
+  EXPECT_TRUE(tree.get(t, "alpha", &v));
+  EXPECT_EQ(v, "1");
+  EXPECT_FALSE(tree.get(t, "gamma", &v));
+  EXPECT_TRUE(tree.remove(t, "alpha"));
+  EXPECT_FALSE(tree.get(t, "alpha", &v));
+  EXPECT_FALSE(tree.remove(t, "alpha"));
+}
+
+TEST_F(STreeFixture, UpdateInPlace) {
+  ThreadCtx t = make_thread();
+  tree.put(t, "k", "old value");
+  tree.put(t, "k", "a replacement of a different size");
+  std::string v;
+  EXPECT_TRUE(tree.get(t, "k", &v));
+  EXPECT_EQ(v, "a replacement of a different size");
+  EXPECT_EQ(tree.count(t), 1u);
+}
+
+TEST_F(STreeFixture, RejectsOversizedKey) {
+  ThreadCtx t = make_thread();
+  const std::string long_key(40, 'x');
+  EXPECT_FALSE(tree.put(t, long_key, "v"));
+  EXPECT_FALSE(tree.get(t, long_key, nullptr));
+}
+
+TEST_F(STreeFixture, SplitsPreserveEverything) {
+  ThreadCtx t = make_thread();
+  const int n = 500;  // many leaf splits (32 slots per leaf)
+  for (int i = 0; i < n; ++i)
+    ASSERT_TRUE(tree.put(t, key_of(i * 7919 % 10000),
+                         "val" + std::to_string(i)));
+  std::string v;
+  for (int i = 0; i < n; ++i)
+    ASSERT_TRUE(tree.get(t, key_of(i * 7919 % 10000), &v)) << i;
+  EXPECT_EQ(tree.count(t), static_cast<std::uint64_t>(n));
+}
+
+TEST_F(STreeFixture, ScanInOrder) {
+  ThreadCtx t = make_thread();
+  for (int i = 99; i >= 0; --i) tree.put(t, key_of(i), std::to_string(i));
+  const auto rows = tree.scan(t, key_of(40), 10);
+  ASSERT_EQ(rows.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rows[static_cast<std::size_t>(i)].first, key_of(40 + i));
+    EXPECT_EQ(rows[static_cast<std::size_t>(i)].second,
+              std::to_string(40 + i));
+  }
+}
+
+TEST_F(STreeFixture, SurvivesCrashAndReopen) {
+  ThreadCtx t = make_thread();
+  for (int i = 0; i < 200; ++i) tree.put(t, key_of(i), std::to_string(i));
+  platform.crash();
+
+  pmem::Pool pool2(ns);
+  ASSERT_TRUE(pool2.open(t));
+  STree tree2(pool2);
+  tree2.open(t);
+  std::string v;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree2.get(t, key_of(i), &v)) << i;
+    EXPECT_EQ(v, std::to_string(i));
+  }
+  EXPECT_EQ(tree2.count(t), 200u);
+}
+
+TEST_F(STreeFixture, CrashDuringInsertNeverTearsState) {
+  // Fill one leaf to the brink, then crash right before the insert that
+  // would split: the committed prefix must be intact.
+  ThreadCtx t = make_thread();
+  for (int i = 0; i < 32; ++i) tree.put(t, key_of(i), "v");
+  platform.crash();
+  pmem::Pool pool2(ns);
+  ASSERT_TRUE(pool2.open(t));
+  STree tree2(pool2);
+  tree2.open(t);
+  EXPECT_EQ(tree2.count(t), 32u);
+  std::string v;
+  for (int i = 0; i < 32; ++i) EXPECT_TRUE(tree2.get(t, key_of(i), &v));
+}
+
+TEST_F(STreeFixture, RandomizedAgainstReference) {
+  ThreadCtx t = make_thread();
+  std::map<std::string, std::string> ref;
+  sim::Rng rng(7);
+  for (int op = 0; op < 2000; ++op) {
+    const std::string k = key_of(static_cast<int>(rng.uniform(300)));
+    const unsigned kind = static_cast<unsigned>(rng.uniform(10));
+    if (kind < 6) {
+      const std::string v = "v" + std::to_string(rng.uniform(100000));
+      ASSERT_TRUE(tree.put(t, k, v));
+      ref[k] = v;
+    } else if (kind < 8) {
+      EXPECT_EQ(tree.remove(t, k), ref.erase(k) > 0);
+    } else {
+      std::string v;
+      const bool found = tree.get(t, k, &v);
+      auto it = ref.find(k);
+      ASSERT_EQ(found, it != ref.end()) << "op " << op << " key " << k;
+      if (found) EXPECT_EQ(v, it->second);
+    }
+  }
+  EXPECT_EQ(tree.count(t), ref.size());
+  // Full scan matches the reference order.
+  const auto rows = tree.scan(t, "", ref.size() + 10);
+  ASSERT_EQ(rows.size(), ref.size());
+  auto it = ref.begin();
+  for (const auto& [k, v] : rows) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST_F(STreeFixture, RecoveryAfterManySplitsAndDeletes) {
+  ThreadCtx t = make_thread();
+  for (int i = 0; i < 300; ++i) tree.put(t, key_of(i), std::to_string(i));
+  for (int i = 0; i < 300; i += 3) tree.remove(t, key_of(i));
+  platform.crash();
+  pmem::Pool pool2(ns);
+  ASSERT_TRUE(pool2.open(t));
+  STree tree2(pool2);
+  tree2.open(t);
+  std::string v;
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(tree2.get(t, key_of(i), &v), i % 3 != 0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace xp::pmemkv
