@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/lattester_test[1]_include.cmake")
+include("/root/repo/build/tests/pmemlib_test[1]_include.cmake")
+include("/root/repo/build/tests/lsmkv_test[1]_include.cmake")
+include("/root/repo/build/tests/novafs_test[1]_include.cmake")
+include("/root/repo/build/tests/pmemkv_test[1]_include.cmake")
+include("/root/repo/build/tests/stree_test[1]_include.cmake")
+include("/root/repo/build/tests/fio_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_mode_test[1]_include.cmake")
+include("/root/repo/build/tests/device_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
