@@ -3,21 +3,41 @@
 // Random and sequential read latency plus write latency via
 // store+clwb+fence and ntstore+fence, for local DRAM and Optane.
 // Methodology per §3.2: single thread, one access in flight (mlp = 1),
-// fence between operations.
+// fence between operations. Each device is measured on its own fresh
+// platform (cold caches, like every other figure bench), so the two
+// points run concurrently through the sweep pool.
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "lattester/kernels.h"
+#include "sweep/sweep.h"
 #include "xpsim/platform.h"
 
-int main() {
-  using namespace xp;
-  benchutil::banner("Figure 2", "Best-case (idle) latency, ns");
+namespace {
 
+using namespace xp;
+
+lat::IdleLatency point(const hw::Device& device) {
   hw::Platform platform;
-  const lat::IdleLatency dram =
-      lat::idle_latency(platform, platform.dram(512 << 20));
-  const lat::IdleLatency xp =
-      lat::idle_latency(platform, platform.optane(512 << 20));
+  auto& ns = device == hw::Device::kDram ? platform.dram(512 << 20)
+                                         : platform.optane(512 << 20);
+  return lat::idle_latency(platform, ns);
+}
 
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+
+  sweep::Grid<hw::Device> grid;
+  grid.add(hw::Device::kDram);
+  grid.add(hw::Device::kXp);
+  const std::vector<lat::IdleLatency> r = sweep::run_points(pool, grid,
+                                                            point);
+  const lat::IdleLatency& dram = r[0];
+  const lat::IdleLatency& xp = r[1];
+
+  benchutil::banner("Figure 2", "Best-case (idle) latency, ns");
   benchutil::row("%-22s %10s %10s", "", "DRAM", "Optane");
   benchutil::row("%-22s %10.0f %10.0f", "Read sequential", dram.read_seq_ns,
                  xp.read_seq_ns);

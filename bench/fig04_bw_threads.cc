@@ -3,57 +3,83 @@
 // Sequential 256 B accesses; loads, non-temporal stores, and cached
 // stores + clwb; three panels: local DRAM, non-interleaved Optane (one
 // DIMM), interleaved Optane (six DIMMs). A fresh platform per data point
-// (cold caches, empty queues) keeps points independent.
+// (cold caches, empty queues) keeps points independent, which also lets
+// the whole sweep run through the host-parallel sweep pool.
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "lattester/runner.h"
+#include "sweep/sweep.h"
 #include "xpsim/platform.h"
 
 namespace {
 
 using namespace xp;
 
-double point(hw::Device device, bool interleaved, lat::Op op,
-             unsigned threads) {
+struct Cfg {
+  hw::Device device;
+  bool interleaved;
+  lat::Op op;
+  unsigned threads;
+};
+
+double point(const Cfg& c) {
   hw::Platform platform;
   hw::NamespaceOptions o;
-  o.device = device;
-  o.interleaved = interleaved;
+  o.device = c.device;
+  o.interleaved = c.interleaved;
   o.size = 8ull << 30;
   o.discard_data = true;
   auto& ns = platform.add_namespace(o);
 
   lat::WorkloadSpec spec;
-  spec.op = op;
+  spec.op = c.op;
   spec.pattern = lat::Pattern::kSeq;
   spec.access_size = 256;
-  spec.threads = threads;
+  spec.threads = c.threads;
   spec.region_size = o.size;
   spec.duration = sim::ms(1);
   return lat::run(platform, ns, spec).bandwidth_gbps;
 }
 
-void panel(const char* name, hw::Device device, bool interleaved) {
-  benchutil::row("%s", name);
-  benchutil::row("%8s %10s %14s %14s", "threads", "Read",
-                 "Write(ntstore)", "Write(clwb)");
-  for (unsigned threads : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
-    benchutil::row("%8u %10.1f %14.1f %14.1f", threads,
-                   point(device, interleaved, lat::Op::kLoad, threads),
-                   point(device, interleaved, lat::Op::kNtStore, threads),
-                   point(device, interleaved, lat::Op::kStoreClwb, threads));
-  }
-}
+struct Panel {
+  const char* name;
+  hw::Device device;
+  bool interleaved;
+};
+
+constexpr Panel kPanels[] = {
+    {"DRAM (interleaved)", hw::Device::kDram, true},
+    {"Optane-NI (single DIMM)", hw::Device::kXp, false},
+    {"Optane (6-DIMM interleaved)", hw::Device::kXp, true},
+};
+constexpr unsigned kThreads[] = {1, 2, 4, 8, 12, 16, 20, 24};
+constexpr lat::Op kOps[] = {lat::Op::kLoad, lat::Op::kNtStore,
+                            lat::Op::kStoreClwb};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+
+  sweep::Grid<Cfg> grid;
+  for (const Panel& p : kPanels)
+    for (unsigned threads : kThreads)
+      for (lat::Op op : kOps) grid.add({p.device, p.interleaved, op, threads});
+  const std::vector<double> bw = sweep::run_points(pool, grid, point);
+
   benchutil::banner("Figure 4",
                     "Bandwidth (GB/s) vs thread count, 256 B sequential");
-  panel("DRAM (interleaved)", hw::Device::kDram, true);
-  panel("Optane-NI (single DIMM)", hw::Device::kXp, false);
-  panel("Optane (6-DIMM interleaved)", hw::Device::kXp, true);
+  std::size_t k = 0;
+  for (const Panel& p : kPanels) {
+    benchutil::row("%s", p.name);
+    benchutil::row("%8s %10s %14s %14s", "threads", "Read",
+                   "Write(ntstore)", "Write(clwb)");
+    for (unsigned threads : kThreads) {
+      const double rd = bw[k++], nt = bw[k++], cl = bw[k++];
+      benchutil::row("%8u %10.1f %14.1f %14.1f", threads, rd, nt, cl);
+    }
+  }
   benchutil::note("paper shapes: DRAM scales monotonically to ~100 GB/s "
                   "read; Optane-NI read peaks ~6.6 GB/s at 4 threads then "
                   "tails off; Optane-NI ntstore peaks 2.3 GB/s at 1-4 "

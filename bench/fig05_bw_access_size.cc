@@ -5,62 +5,93 @@
 // original captions as Read/Write(ntstore)/Write(clwb)): DRAM 24/24/24,
 // Optane-NI 4/1/2, Optane 16/4/12. Two effects to look for: the 256 B
 // "knee" (XPLine granularity) and the interleaved 4 KB dip (iMC
-// contention at the interleaving size, §5.3).
+// contention at the interleaving size, §5.3). Points are independent
+// (fresh platform each) and run through the host-parallel sweep pool.
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "lattester/runner.h"
+#include "sweep/sweep.h"
 #include "xpsim/platform.h"
 
 namespace {
 
 using namespace xp;
 
-double point(hw::Device device, bool interleaved, lat::Op op,
-             unsigned threads, std::size_t access) {
+struct Cfg {
+  hw::Device device;
+  bool interleaved;
+  lat::Op op;
+  unsigned threads;
+  std::size_t access;
+};
+
+double point(const Cfg& c) {
   hw::Platform platform;
   hw::NamespaceOptions o;
-  o.device = device;
-  o.interleaved = interleaved;
+  o.device = c.device;
+  o.interleaved = c.interleaved;
   o.size = 8ull << 30;
   o.discard_data = true;
   auto& ns = platform.add_namespace(o);
 
   lat::WorkloadSpec spec;
-  spec.op = op;
+  spec.op = c.op;
   spec.pattern = lat::Pattern::kRand;
-  spec.access_size = access;
-  spec.threads = threads;
+  spec.access_size = c.access;
+  spec.threads = c.threads;
   spec.region_size = o.size;
   // Multi-hundred-KB accesses need a window that fits many ops.
-  spec.duration = access >= (256 << 10) ? sim::ms(10) : sim::ms(1);
+  spec.duration = c.access >= (256 << 10) ? sim::ms(10) : sim::ms(1);
   return lat::run(platform, ns, spec).bandwidth_gbps;
 }
 
-void panel(const char* name, hw::Device device, bool interleaved,
-           unsigned rd_threads, unsigned nt_threads, unsigned clwb_threads) {
-  benchutil::row("%s (%u/%u/%u threads)", name, rd_threads, nt_threads,
-                 clwb_threads);
-  benchutil::row("%8s %10s %14s %14s", "size", "Read", "Write(ntstore)",
-                 "Write(clwb)");
-  for (std::size_t access : {64u, 256u, 1024u, 4096u, 16384u, 65536u,
-                             262144u, 2097152u}) {
-    benchutil::row(
-        "%8s %10.1f %14.1f %14.1f",
-        benchutil::human_size(access).c_str(),
-        point(device, interleaved, lat::Op::kLoad, rd_threads, access),
-        point(device, interleaved, lat::Op::kNtStore, nt_threads, access),
-        point(device, interleaved, lat::Op::kStoreClwb, clwb_threads,
-              access));
-  }
-}
+struct Panel {
+  const char* name;
+  hw::Device device;
+  bool interleaved;
+  unsigned rd_threads, nt_threads, clwb_threads;
+};
+
+constexpr Panel kPanels[] = {
+    {"DRAM", hw::Device::kDram, true, 24, 24, 24},
+    {"Optane-NI (single DIMM)", hw::Device::kXp, false, 4, 1, 2},
+    {"Optane (interleaved)", hw::Device::kXp, true, 16, 4, 12},
+};
+constexpr std::size_t kSizes[] = {64u,    256u,    1024u,   4096u,
+                                  16384u, 65536u, 262144u, 2097152u};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+
+  sweep::Grid<Cfg> grid;
+  for (const Panel& p : kPanels)
+    for (std::size_t access : kSizes) {
+      grid.add({p.device, p.interleaved, lat::Op::kLoad, p.rd_threads,
+                access});
+      grid.add({p.device, p.interleaved, lat::Op::kNtStore, p.nt_threads,
+                access});
+      grid.add({p.device, p.interleaved, lat::Op::kStoreClwb,
+                p.clwb_threads, access});
+    }
+  const std::vector<double> bw = sweep::run_points(pool, grid, point);
+
   benchutil::banner("Figure 5",
                     "Bandwidth (GB/s) vs access size, random accesses");
-  panel("DRAM", hw::Device::kDram, true, 24, 24, 24);
-  panel("Optane-NI (single DIMM)", hw::Device::kXp, false, 4, 1, 2);
-  panel("Optane (interleaved)", hw::Device::kXp, true, 16, 4, 12);
+  std::size_t k = 0;
+  for (const Panel& p : kPanels) {
+    benchutil::row("%s (%u/%u/%u threads)", p.name, p.rd_threads,
+                   p.nt_threads, p.clwb_threads);
+    benchutil::row("%8s %10s %14s %14s", "size", "Read", "Write(ntstore)",
+                   "Write(clwb)");
+    for (std::size_t access : kSizes) {
+      const double rd = bw[k++], nt = bw[k++], cl = bw[k++];
+      benchutil::row("%8s %10.1f %14.1f %14.1f",
+                     benchutil::human_size(access).c_str(), rd, nt, cl);
+    }
+  }
   benchutil::note("paper shapes: DRAM mostly size-independent; Optane poor "
                   "below 256 B (XPLine RMW); interleaved writes dip at 4 KB "
                   "(one access = one DIMM; iMC head-of-line) and recover "

@@ -4,12 +4,15 @@
 // threads issue pipelined accesses with a tunable inter-op delay to set
 // the offered load; one probe thread issues dependent (fenced, one at a
 // time) accesses and records true latency. Sweeping the delay traces the
-// latency/bandwidth curve up to the queueing wall.
+// latency/bandwidth curve up to the queueing wall. Every (curve, delay)
+// point owns its platform and scheduler, so the sweep fans out over the
+// host-parallel pool.
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "sim/histogram.h"
 #include "sim/scheduler.h"
+#include "sweep/sweep.h"
 #include "xpsim/platform.h"
 
 namespace {
@@ -21,11 +24,18 @@ struct Point {
   double lat_ns;
 };
 
-Point measure(hw::Device device, bool random, bool write, unsigned threads,
-              double delay_ns) {
+struct Cfg {
+  hw::Device device;
+  bool random;
+  bool write;
+  unsigned threads;
+  double delay_ns;
+};
+
+Point measure(const Cfg& c) {
   hw::Platform platform;
   hw::NamespaceOptions o;
-  o.device = device;
+  o.device = c.device;
   o.size = 8ull << 30;
   o.discard_data = true;
   auto& ns = platform.add_namespace(o);
@@ -33,30 +43,30 @@ Point measure(hw::Device device, bool random, bool write, unsigned threads,
   const sim::Time window = sim::ms(1);
   const std::uint64_t slots = o.size / 256;
   sim::Scheduler sched;
-  std::vector<std::uint64_t> bytes(threads, 0);
+  std::vector<std::uint64_t> bytes(c.threads, 0);
   sim::Histogram probe_lat;
 
-  for (unsigned j = 0; j < threads; ++j) {
+  for (unsigned j = 0; j < c.threads; ++j) {
     const bool is_probe = j == 0;
     sched.spawn(
         {.id = j, .socket = 0,
          .mlp = is_probe ? 1u : platform.timing().default_mlp,
          .seed = j + 3},
-        [&, j, is_probe, cursor = std::uint64_t(j) * (o.size / threads)](
+        [&, j, is_probe, cursor = std::uint64_t(j) * (o.size / c.threads)](
             sim::ThreadCtx& ctx) mutable {
           if (ctx.now() >= window) return false;
           std::uint64_t off;
-          if (random) {
+          if (c.random) {
             off = ctx.rng().uniform(slots) * 256;
           } else {
             off = cursor;
             // True sequential: 64 B reads walk every cache line (so the
             // XPBuffer sees 4 hits per line); writes walk 256 B records.
-            cursor = (cursor + (write ? 256 : 64)) % (o.size - 256);
+            cursor = (cursor + (c.write ? 256 : 64)) % (o.size - 256);
           }
           std::uint8_t buf[256] = {1};
           const sim::Time t0 = ctx.now();
-          if (write) {
+          if (c.write) {
             ns.ntstore(ctx, off, std::span<const std::uint8_t>(buf, 256));
           } else {
             ns.load(ctx, off, std::span<std::uint8_t>(buf, 64));
@@ -65,8 +75,8 @@ Point measure(hw::Device device, bool random, bool write, unsigned threads,
             ns.mfence(ctx);
             probe_lat.record(ctx.now() - t0);
           } else {
-            bytes[j] += write ? 256 : 64;
-            if (delay_ns > 0) ctx.advance_by(sim::ns(delay_ns));
+            bytes[j] += c.write ? 256 : 64;
+            if (c.delay_ns > 0) ctx.advance_by(sim::ns(c.delay_ns));
           }
           return true;
         });
@@ -78,37 +88,53 @@ Point measure(hw::Device device, bool random, bool write, unsigned threads,
   return {sim::gbps(total, window), probe_lat.mean() / 1e3};
 }
 
-void curve(const char* name, hw::Device device, bool random, bool write,
-           unsigned threads) {
-  benchutil::row("%s", name);
-  benchutil::row("%12s %12s %14s", "delay(ns)", "BW(GB/s)", "latency(ns)");
-  for (double delay_ns : {0.0, 50.0, 150.0, 400.0, 1000.0, 4000.0,
-                          20000.0, 80000.0}) {
-    const Point p = measure(device, random, write, threads, delay_ns);
-    benchutil::row("%12.0f %12.2f %14.0f", delay_ns, p.bw_gbps, p.lat_ns);
-  }
-}
+struct Curve {
+  const char* name;
+  hw::Device device;
+  bool random;
+  bool write;
+  unsigned threads;
+};
+
+constexpr Curve kCurves[] = {
+    {"DRAM read, sequential (16 threads)", hw::Device::kDram, false, false,
+     16},
+    {"DRAM read, random (16 threads)", hw::Device::kDram, true, false, 16},
+    {"Optane read, sequential (16 threads)", hw::Device::kXp, false, false,
+     16},
+    {"Optane read, random (16 threads)", hw::Device::kXp, true, false, 16},
+    {"DRAM ntstore, sequential (4 threads)", hw::Device::kDram, false, true,
+     4},
+    {"Optane ntstore, sequential (4 threads)", hw::Device::kXp, false, true,
+     4},
+    {"Optane ntstore, random (4 threads)", hw::Device::kXp, true, true, 4},
+};
+constexpr double kDelays[] = {0.0,    50.0,    150.0,   400.0,
+                              1000.0, 4000.0, 20000.0, 80000.0};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+
+  sweep::Grid<Cfg> grid;
+  for (const Curve& c : kCurves)
+    for (double delay_ns : kDelays)
+      grid.add({c.device, c.random, c.write, c.threads, delay_ns});
+  const std::vector<Point> points = sweep::run_points(pool, grid, measure);
+
   benchutil::banner("Figure 6",
                     "Loaded latency: probe thread + delay-throttled "
                     "loaders");
-  curve("DRAM read, sequential (16 threads)", hw::Device::kDram, false,
-        false, 16);
-  curve("DRAM read, random (16 threads)", hw::Device::kDram, true, false,
-        16);
-  curve("Optane read, sequential (16 threads)", hw::Device::kXp, false,
-        false, 16);
-  curve("Optane read, random (16 threads)", hw::Device::kXp, true, false,
-        16);
-  curve("DRAM ntstore, sequential (4 threads)", hw::Device::kDram, false,
-        true, 4);
-  curve("Optane ntstore, sequential (4 threads)", hw::Device::kXp, false,
-        true, 4);
-  curve("Optane ntstore, random (4 threads)", hw::Device::kXp, true, true,
-        4);
+  std::size_t k = 0;
+  for (const Curve& c : kCurves) {
+    benchutil::row("%s", c.name);
+    benchutil::row("%12s %12s %14s", "delay(ns)", "BW(GB/s)", "latency(ns)");
+    for (double delay_ns : kDelays) {
+      const Point p = points[k++];
+      benchutil::row("%12.0f %12.2f %14.0f", delay_ns, p.bw_gbps, p.lat_ns);
+    }
+  }
   benchutil::note("paper shapes: latency flat at low load, rising sharply "
                   "at the bandwidth wall; the wall comes much earlier for "
                   "Optane; Optane strongly pattern-dependent, DRAM not");

@@ -5,16 +5,26 @@
 // ntstore vs store+clwb over access sizes. Key claims: flushing right
 // after each store keeps the stream sequential (EWR 0.26 -> 0.98) and
 // beats bare stores; ntstore avoids the RFO read and wins for >=512 B.
+// Both tables are one grid through the host-parallel sweep pool.
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "lattester/runner.h"
+#include "sweep/sweep.h"
 #include "xpsim/platform.h"
 
 namespace {
 
 using namespace xp;
 
-lat::Result run_case(lat::Op op, std::size_t access, unsigned threads,
-                     bool fenced) {
+struct Cfg {
+  lat::Op op;
+  std::size_t access;
+  unsigned threads;
+  bool fenced;
+};
+
+lat::Result run_case(const Cfg& c) {
   hw::Platform platform;
   hw::NamespaceOptions o;
   o.device = hw::Device::kXp;
@@ -22,13 +32,13 @@ lat::Result run_case(lat::Op op, std::size_t access, unsigned threads,
   o.discard_data = true;
   auto& ns = platform.add_namespace(o);
   lat::WorkloadSpec spec;
-  spec.op = op;
+  spec.op = c.op;
   spec.pattern = lat::Pattern::kSeq;
-  spec.access_size = access;
-  spec.threads = threads;
-  spec.mlp = fenced ? 1 : 0;
-  spec.fence_each_op = fenced;
-  if (fenced) {
+  spec.access_size = c.access;
+  spec.threads = c.threads;
+  spec.mlp = c.fenced ? 1 : 0;
+  spec.fence_each_op = c.fenced;
+  if (c.fenced) {
     // Latency methodology: warm, cache-resident lines (Fig 2 style).
     spec.region_size = 128 << 10;
     spec.warmup = sim::us(500);
@@ -38,24 +48,42 @@ lat::Result run_case(lat::Op op, std::size_t access, unsigned threads,
     // Bare stores need to stream well past the LLC capacity before the
     // natural-eviction steady state (the regime the paper measures) is
     // reached.
-    spec.warmup = op == lat::Op::kStore ? sim::ms(4) : sim::us(50);
+    spec.warmup = c.op == lat::Op::kStore ? sim::ms(4) : sim::us(50);
     spec.duration = sim::ms(4);
   }
   return lat::run(platform, ns, spec);
 }
 
+constexpr std::size_t kBwSizes[] = {64u, 128u, 256u, 512u, 1024u, 4096u};
+constexpr std::size_t kLatSizes[] = {64u, 256u, 1024u, 4096u};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+
+  sweep::Grid<Cfg> grid;
+  for (std::size_t access : kBwSizes) {
+    grid.add({lat::Op::kNtStore, access, 6, false});
+    grid.add({lat::Op::kStoreClwb, access, 6, false});
+    grid.add({lat::Op::kStore, access, 6, false});
+  }
+  for (std::size_t access : kLatSizes) {
+    grid.add({lat::Op::kNtStore, access, 1, true});
+    grid.add({lat::Op::kStoreClwb, access, 1, true});
+  }
+  const std::vector<lat::Result> r = sweep::run_points(pool, grid, run_case);
+
   benchutil::banner("Figure 13", "Persistence instruction choice");
 
+  std::size_t k = 0;
   benchutil::row("Bandwidth (GB/s), 6 threads, sequential — plus EWR");
   benchutil::row("%8s %16s %16s %16s", "size", "ntstore", "store+clwb",
                  "store");
-  for (std::size_t access : {64u, 128u, 256u, 512u, 1024u, 4096u}) {
-    const lat::Result nt = run_case(lat::Op::kNtStore, access, 6, false);
-    const lat::Result cl = run_case(lat::Op::kStoreClwb, access, 6, false);
-    const lat::Result st = run_case(lat::Op::kStore, access, 6, false);
+  for (std::size_t access : kBwSizes) {
+    const lat::Result& nt = r[k++];
+    const lat::Result& cl = r[k++];
+    const lat::Result& st = r[k++];
     benchutil::row("%8s %9.1f (e%.2f) %9.1f (e%.2f) %9.1f (e%.2f)",
                    benchutil::human_size(access).c_str(), nt.bandwidth_gbps,
                    nt.ewr, cl.bandwidth_gbps, cl.ewr, st.bandwidth_gbps,
@@ -65,9 +93,9 @@ int main() {
   benchutil::row("");
   benchutil::row("Latency (ns), 1 thread, fenced");
   benchutil::row("%8s %12s %14s", "size", "ntstore", "store+clwb");
-  for (std::size_t access : {64u, 256u, 1024u, 4096u}) {
-    const lat::Result nt = run_case(lat::Op::kNtStore, access, 1, true);
-    const lat::Result cl = run_case(lat::Op::kStoreClwb, access, 1, true);
+  for (std::size_t access : kLatSizes) {
+    const lat::Result& nt = r[k++];
+    const lat::Result& cl = r[k++];
     benchutil::row("%8s %12.0f %14.0f",
                    benchutil::human_size(access).c_str(),
                    nt.avg_latency_ns(), cl.avg_latency_ns());

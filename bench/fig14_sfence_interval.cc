@@ -5,16 +5,26 @@
 // clwb for the whole range at the end of the write, and ntstore. For
 // writes larger than the cache, deferring the flush lets natural
 // evictions shuffle the stream and duplicates write-backs — the paper's
-// "cache capacity invalidation" penalty.
+// "cache capacity invalidation" penalty. The 21 points are independent
+// and run through the host-parallel sweep pool.
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "lattester/runner.h"
+#include "sweep/sweep.h"
 #include "xpsim/platform.h"
 
 namespace {
 
 using namespace xp;
 
-double point(lat::Op op, std::size_t flush_every, std::size_t write_size) {
+struct Cfg {
+  lat::Op op;
+  std::size_t flush_every;
+  std::size_t write_size;
+};
+
+double point(const Cfg& c) {
   hw::Platform platform;
   hw::NamespaceOptions o;
   o.device = hw::Device::kXp;
@@ -23,33 +33,44 @@ double point(lat::Op op, std::size_t flush_every, std::size_t write_size) {
   o.discard_data = true;
   auto& ns = platform.add_namespace(o);
   lat::WorkloadSpec spec;
-  spec.op = op;
-  spec.flush_every = flush_every;
+  spec.op = c.op;
+  spec.flush_every = c.flush_every;
   spec.pattern = lat::Pattern::kSeq;
-  spec.access_size = write_size;
+  spec.access_size = c.write_size;
   spec.threads = 1;
   spec.fence_each_op = true;  // one sfence per write
   spec.region_size = o.size;
   // Multi-MB writes take ~10 ms each; give the window room for several.
-  spec.duration = write_size >= (1 << 20) ? sim::ms(120) : sim::ms(2);
-  spec.warmup = write_size >= (1 << 20) ? 0 : spec.warmup;
+  spec.duration = c.write_size >= (1 << 20) ? sim::ms(120) : sim::ms(2);
+  spec.warmup = c.write_size >= (1 << 20) ? 0 : spec.warmup;
   return lat::run(platform, ns, spec).bandwidth_gbps;
 }
 
+constexpr std::size_t kSizes[] = {64u,    256u,     1024u,    4096u,
+                                  65536u, 1048576u, 16777216u};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+
+  sweep::Grid<Cfg> grid;
+  for (std::size_t size : kSizes) {
+    grid.add({lat::Op::kStoreClwb, 64, size});
+    grid.add({lat::Op::kStoreClwb, 0, size});
+    grid.add({lat::Op::kNtStore, 64, size});
+  }
+  const std::vector<double> bw = sweep::run_points(pool, grid, point);
+
   benchutil::banner("Figure 14",
                     "Bandwidth (GB/s) vs sfence interval, Optane-NI");
   benchutil::row("%8s %16s %18s %10s", "size", "clwb(every 64B)",
                  "clwb(write size)", "ntstore");
-  for (std::size_t size : {64u, 256u, 1024u, 4096u, 65536u, 1048576u,
-                           16777216u}) {
+  std::size_t k = 0;
+  for (std::size_t size : kSizes) {
+    const double every64 = bw[k++], whole = bw[k++], nt = bw[k++];
     benchutil::row("%8s %16.2f %18.2f %10.2f",
-                   benchutil::human_size(size).c_str(),
-                   point(lat::Op::kStoreClwb, 64, size),
-                   point(lat::Op::kStoreClwb, 0, size),
-                   point(lat::Op::kNtStore, 64, size));
+                   benchutil::human_size(size).c_str(), every64, whole, nt);
   }
   benchutil::note("paper: bandwidth peaks around a 256 B interval; "
                   "flush-during vs flush-after are equivalent for medium "

@@ -4,17 +4,27 @@
 // random accesses over N DIMMs. As N grows, more threads target each
 // DIMM concurrently; with the per-thread WPQ credit (256 B) and the
 // controller's limited stream trackers, per-DIMM efficiency falls —
-// pinning threads to DIMMs maximizes bandwidth.
+// pinning threads to DIMMs maximizes bandwidth. The 32 points run
+// through the host-parallel sweep pool.
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "lattester/runner.h"
+#include "sweep/sweep.h"
 #include "xpsim/platform.h"
 
 namespace {
 
 using namespace xp;
 
-double point(lat::Op op, unsigned threads, unsigned dimms_per_thread,
-             std::size_t access) {
+struct Cfg {
+  lat::Op op;
+  unsigned threads;
+  unsigned dimms_per_thread;
+  std::size_t access;
+};
+
+double point(const Cfg& c) {
   hw::Platform platform;
   hw::NamespaceOptions o;
   o.device = hw::Device::kXp;
@@ -22,37 +32,53 @@ double point(lat::Op op, unsigned threads, unsigned dimms_per_thread,
   o.discard_data = true;
   auto& ns = platform.add_namespace(o);
   lat::WorkloadSpec spec;
-  spec.op = op;
+  spec.op = c.op;
   spec.pattern = lat::Pattern::kRand;
-  spec.access_size = access;
-  spec.threads = threads;
-  spec.dimms_per_thread = dimms_per_thread;
+  spec.access_size = c.access;
+  spec.threads = c.threads;
+  spec.dimms_per_thread = c.dimms_per_thread;
   spec.region_size = o.size;
   spec.duration = sim::ms(1);
   return lat::run(platform, ns, spec).bandwidth_gbps;
 }
 
-void panel(const char* name, lat::Op op, unsigned threads) {
-  benchutil::row("%s (%u threads)", name, threads);
-  benchutil::row("%8s %12s %12s %12s %12s", "size", "1 DIMM/thr",
-                 "2 DIMMs/thr", "3 DIMMs/thr", "6 DIMMs/thr");
-  for (std::size_t access : {64u, 256u, 1024u, 4096u}) {
-    benchutil::row("%8s %12.1f %12.1f %12.1f %12.1f",
-                   benchutil::human_size(access).c_str(),
-                   point(op, threads, 1, access),
-                   point(op, threads, 2, access),
-                   point(op, threads, 3, access),
-                   point(op, threads, 6, access));
-  }
-}
+struct Panel {
+  const char* name;
+  lat::Op op;
+  unsigned threads;
+};
+
+constexpr Panel kPanels[] = {
+    {"Read", lat::Op::kLoad, 24},
+    {"Write (ntstore)", lat::Op::kNtStore, 6},
+};
+constexpr std::size_t kSizes[] = {64u, 256u, 1024u, 4096u};
+constexpr unsigned kDimms[] = {1, 2, 3, 6};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+
+  sweep::Grid<Cfg> grid;
+  for (const Panel& p : kPanels)
+    for (std::size_t access : kSizes)
+      for (unsigned dimms : kDimms) grid.add({p.op, p.threads, dimms, access});
+  const std::vector<double> bw = sweep::run_points(pool, grid, point);
+
   benchutil::banner("Figure 16",
                     "Bandwidth (GB/s) as threads spread across DIMMs");
-  panel("Read", lat::Op::kLoad, 24);
-  panel("Write (ntstore)", lat::Op::kNtStore, 6);
+  std::size_t k = 0;
+  for (const Panel& p : kPanels) {
+    benchutil::row("%s (%u threads)", p.name, p.threads);
+    benchutil::row("%8s %12s %12s %12s %12s", "size", "1 DIMM/thr",
+                   "2 DIMMs/thr", "3 DIMMs/thr", "6 DIMMs/thr");
+    for (std::size_t access : kSizes) {
+      const double d1 = bw[k++], d2 = bw[k++], d3 = bw[k++], d6 = bw[k++];
+      benchutil::row("%8s %12.1f %12.1f %12.1f %12.1f",
+                     benchutil::human_size(access).c_str(), d1, d2, d3, d6);
+    }
+  }
   benchutil::note("paper: bandwidth drops as each thread touches more "
                   "DIMMs; for maximal bandwidth pin threads to DIMMs");
   return 0;

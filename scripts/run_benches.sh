@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Build Release, run the bench_timing self-measurement harness (which
+# writes BENCH_sweep.json), and guard the sweep engine's determinism
+# contract: every converted figure bench must print byte-identical
+# tables with --jobs 1 and --jobs N. Intended for CI and for refreshing
+# the committed BENCH_sweep.json baseline.
+#
+# Usage: scripts/run_benches.sh [jobs]
+#   jobs  defaults to the machine's core count (or XP_JOBS if set).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-${XP_JOBS:-$(nproc)}}"
+BUILD=build-release
+
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target \
+    bench_timing fig02_idle_latency fig04_bw_threads fig05_bw_access_size \
+    fig06_latency_under_load fig13_persist_instructions \
+    fig14_sfence_interval fig16_imc_contention > /dev/null
+
+echo "== bench_timing (jobs=$JOBS) =="
+"$BUILD/bench/bench_timing" --jobs "$JOBS" --out BENCH_sweep.json
+
+# Determinism guard: byte-identical tables regardless of job count. The
+# quick benches run their full sweeps; the long ones are already covered
+# point-for-point by bench_timing's identical-results check above.
+echo
+echo "== determinism: --jobs 1 vs --jobs $JOBS =="
+status=0
+for bench in fig02_idle_latency fig13_persist_instructions \
+             fig14_sfence_interval fig16_imc_contention; do
+  a=$(mktemp) b=$(mktemp)
+  "$BUILD/bench/$bench" --jobs 1       > "$a"
+  "$BUILD/bench/$bench" --jobs "$JOBS" > "$b"
+  if diff -q "$a" "$b" > /dev/null; then
+    echo "  $bench: identical"
+  else
+    echo "  $bench: MISMATCH"
+    diff "$a" "$b" | head -20
+    status=1
+  fi
+  rm -f "$a" "$b"
+done
+exit $status

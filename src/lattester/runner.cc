@@ -19,7 +19,26 @@ using sim::Time;
 // execute atomically ahead of other threads' earlier operations. Eight
 // cache lines per step keeps cross-thread interleaving fine enough that
 // shared-resource reservations stay close to global time order.
+//
+// With a single thread there is nothing to interleave against, so the
+// whole access runs as one scheduler step — the simulator charges time
+// per 64 B line regardless of how an access is split into calls, so the
+// results are identical and the per-step scheduler dispatch disappears
+// from multi-MB accesses (Fig 14's 16 MB writes are 32768 steps
+// otherwise). The only call-pattern dependence is kStoreClwb's
+// flush_every loop, which restarts at every chunk boundary; the merge is
+// applied only when flush boundaries are unchanged by it (flush_every
+// divides kStepChunk, or the flush-at-end mode).
 constexpr std::size_t kStepChunk = 512;
+
+// Source/sink buffers are sized once per thread and reused for every op.
+// They are capped: the pattern written (b * 131 + i, truncated to a
+// byte) has period 256, so indexing a capped buffer modulo its size
+// yields byte-for-byte the bytes a full access-sized buffer would, as
+// long as 256 divides the cap. Before the cap, a 16 MB-access sweep with
+// 24 threads allocated and patterned 384 MB of host memory per point.
+constexpr std::size_t kBufCap = 64 << 10;
+static_assert(kBufCap % 256 == 0 && kStepChunk % 256 == 0);
 
 struct ThreadState {
   std::uint64_t slice_start = 0;
@@ -69,47 +88,59 @@ std::uint64_t pick_offset(const WorkloadSpec& spec, ThreadCtx& ctx,
   return off;
 }
 
-// Execute bytes [pos, pos+len) of the current access.
+// Execute bytes [st.op_pos, st.op_pos + len) of the current access. The
+// range may exceed the buffer cap; it is walked in buffer-window pieces,
+// indexing the buffer modulo its size (see kBufCap for why the bytes
+// match an uncapped buffer).
 void access_chunk(const WorkloadSpec& spec, PmemNamespace& ns, ThreadCtx& ctx,
                   ThreadState& st, std::size_t len) {
-  const std::uint64_t off = st.op_off + st.op_pos;
-  auto data = std::span<const std::uint8_t>(st.buf.data() + st.op_pos, len);
-  auto out = std::span<std::uint8_t>(st.buf.data() + st.op_pos, len);
-  switch (spec.op) {
-    case Op::kLoad:
-      ns.load(ctx, off, out);
-      break;
-    case Op::kNtStore:
-      ns.ntstore(ctx, off, data);
-      break;
-    case Op::kStoreClwb: {
-      if (spec.flush_every == 0) {
-        // Flush the whole access only after its last chunk (Fig 14's
-        // "clwb(write size)" mode).
-        ns.store(ctx, off, data);
-        if (st.op_pos + len >= spec.access_size)
-          ns.clwb(ctx, st.op_off, spec.access_size);
-      } else {
-        const std::size_t step = spec.flush_every;
-        for (std::size_t p = 0; p < len; p += step) {
-          const std::size_t n = std::min(step, len - p);
-          ns.store(ctx, off + p, data.subspan(p, n));
-          ns.clwb(ctx, off + p, n);
-        }
-      }
-      break;
-    }
-    case Op::kStore:
-      ns.store(ctx, off, data);
-      break;
-    case Op::kMixed:
-      if (st.op_is_read) {
+  const bool final_chunk = st.op_pos + len >= spec.access_size;
+  std::size_t pos = st.op_pos;
+  std::size_t remaining = len;
+  while (remaining > 0) {
+    const std::size_t win = pos % st.buf.size();
+    const std::size_t n = std::min(remaining, st.buf.size() - win);
+    const std::uint64_t off = st.op_off + pos;
+    auto data = std::span<const std::uint8_t>(st.buf.data() + win, n);
+    auto out = std::span<std::uint8_t>(st.buf.data() + win, n);
+    switch (spec.op) {
+      case Op::kLoad:
         ns.load(ctx, off, out);
-      } else {
+        break;
+      case Op::kNtStore:
         ns.ntstore(ctx, off, data);
+        break;
+      case Op::kStoreClwb: {
+        if (spec.flush_every == 0) {
+          // Flush the whole access only after its last chunk (Fig 14's
+          // "clwb(write size)" mode).
+          ns.store(ctx, off, data);
+        } else {
+          const std::size_t step = spec.flush_every;
+          for (std::size_t p = 0; p < n; p += step) {
+            const std::size_t m = std::min(step, n - p);
+            ns.store(ctx, off + p, data.subspan(p, m));
+            ns.clwb(ctx, off + p, m);
+          }
+        }
+        break;
       }
-      break;
+      case Op::kStore:
+        ns.store(ctx, off, data);
+        break;
+      case Op::kMixed:
+        if (st.op_is_read) {
+          ns.load(ctx, off, out);
+        } else {
+          ns.ntstore(ctx, off, data);
+        }
+        break;
+    }
+    pos += n;
+    remaining -= n;
   }
+  if (spec.op == Op::kStoreClwb && spec.flush_every == 0 && final_chunk)
+    ns.clwb(ctx, st.op_off, spec.access_size);
 }
 
 }  // namespace
@@ -134,7 +165,8 @@ Result run(hw::Platform& platform, hw::PmemNamespace& ns,
       st.slice_start = spec.region_offset;
       st.slice_len = spec.region_size;
     }
-    st.buf.resize(std::max<std::size_t>(acc, 64));
+    st.buf.resize(std::max<std::size_t>(std::min<std::size_t>(acc, kBufCap),
+                                        64));
     for (std::size_t b = 0; b < st.buf.size(); ++b)
       st.buf[b] = static_cast<std::uint8_t>(b * 131 + i);
     // Stagger sequential cursors so same-speed threads don't phase-lock
@@ -152,6 +184,17 @@ Result run(hw::Platform& platform, hw::PmemNamespace& ns,
   platform.reset_timing();
 
   const hw::XpCounters before = ns.xp_counters();
+
+  // Single thread: run each access as one scheduler step (see kStepChunk;
+  // timing is unchanged, the dispatch overhead isn't). Guarded so the
+  // kStoreClwb store/clwb call pattern stays exactly as chunked execution
+  // would produce it.
+  const bool whole_op_steps =
+      spec.threads == 1 &&
+      (spec.op != Op::kStoreClwb || spec.flush_every == 0 ||
+       kStepChunk % spec.flush_every == 0);
+  const std::size_t step_chunk = whole_op_steps ? spec.access_size
+                                                : kStepChunk;
 
   sim::Scheduler sched;
   for (unsigned i = 0; i < spec.threads; ++i) {
@@ -174,7 +217,7 @@ Result run(hw::Platform& platform, hw::PmemNamespace& ns,
         st->op_active = true;
       }
       const std::size_t len =
-          std::min(kStepChunk, spec.access_size - st->op_pos);
+          std::min(step_chunk, spec.access_size - st->op_pos);
       access_chunk(spec, ns, ctx, *st, len);
       st->op_pos += len;
       if (st->op_pos < spec.access_size) return true;

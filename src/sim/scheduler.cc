@@ -2,18 +2,25 @@
 
 namespace xp::sim {
 
-ThreadCtx& Scheduler::spawn(const ThreadCtx::Options& opts, StepFn step) {
-  threads_.push_back(std::make_unique<ThreadCtx>(opts));
-  steps_.push_back(std::make_unique<StepFn>(std::move(step)));
-  heap_.push(Entry{threads_.back().get(), steps_.back().get()});
-  return *threads_.back();
-}
+// Both run loops special-case the single-live-thread regime: with one
+// runnable thread there is nothing to interleave, so the heap pop/push
+// per step (and its comparator calls) is pure overhead. The tight loops
+// below keep stepping the lone thread directly and fall back to heap
+// order the moment a step spawns a new thread (heap_ non-empty again).
+// Single-thread runs dominate the figure benches (latency methodology is
+// one thread by definition), so this path is hot.
 
 void Scheduler::run() {
   while (!heap_.empty()) {
     Entry e = heap_.top();
     heap_.pop();
-    if ((*e.step)(*e.ctx)) heap_.push(e);
+    if (heap_.empty()) {
+      bool alive = true;
+      while (alive && heap_.empty()) alive = e.invoke(e.state, *e.ctx);
+      if (alive) heap_.push(e);
+      continue;
+    }
+    if (e.invoke(e.state, *e.ctx)) heap_.push(e);
   }
 }
 
@@ -21,7 +28,14 @@ void Scheduler::run_until(Time deadline) {
   while (!heap_.empty() && heap_.top().ctx->now() < deadline) {
     Entry e = heap_.top();
     heap_.pop();
-    if ((*e.step)(*e.ctx)) heap_.push(e);
+    if (heap_.empty()) {
+      bool alive = true;
+      while (alive && heap_.empty() && e.ctx->now() < deadline)
+        alive = e.invoke(e.state, *e.ctx);
+      if (alive) heap_.push(e);
+      continue;
+    }
+    if (e.invoke(e.state, *e.ctx)) heap_.push(e);
   }
 }
 

@@ -98,8 +98,22 @@ using StepFn = std::function<bool(ThreadCtx&)>;
 class Scheduler {
  public:
   // Creates a thread and registers its step function. Returns the context
-  // (owned by the scheduler, valid until reset()).
-  ThreadCtx& spawn(const ThreadCtx::Options& opts, StepFn step);
+  // (owned by the scheduler, valid until reset()). The callable is stored
+  // in its concrete type and invoked through one raw function pointer —
+  // stepping is the simulator's innermost loop, and std::function's
+  // extra indirection is measurable there.
+  template <typename F>
+  ThreadCtx& spawn(const ThreadCtx::Options& opts, F step) {
+    threads_.push_back(std::make_unique<ThreadCtx>(opts));
+    auto* state = new F(std::move(step));
+    steps_.emplace_back(state,
+                        [](void* p) { delete static_cast<F*>(p); });
+    heap_.push(Entry{threads_.back().get(), state,
+                     [](void* p, ThreadCtx& ctx) {
+                       return (*static_cast<F*>(p))(ctx);
+                     }});
+    return *threads_.back();
+  }
 
   // Run until all threads have finished.
   void run();
@@ -118,7 +132,8 @@ class Scheduler {
  private:
   struct Entry {
     ThreadCtx* ctx;
-    StepFn* step;
+    void* state;
+    bool (*invoke)(void*, ThreadCtx&);
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -127,8 +142,10 @@ class Scheduler {
     }
   };
 
+  using StepState = std::unique_ptr<void, void (*)(void*)>;
+
   std::vector<std::unique_ptr<ThreadCtx>> threads_;
-  std::vector<std::unique_ptr<StepFn>> steps_;
+  std::vector<StepState> steps_;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 };
 

@@ -1,0 +1,114 @@
+#include "sweep/sweep.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace xp::sweep {
+
+namespace {
+
+unsigned parse_jobs(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v <= 0) return 0;
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+unsigned default_jobs() {
+  if (unsigned env = parse_jobs(std::getenv("XP_JOBS"))) return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+unsigned jobs_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+      if (i + 1 < argc)
+        if (unsigned v = parse_jobs(argv[i + 1])) return v;
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      if (unsigned v = parse_jobs(arg + 7)) return v;
+    } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+      if (unsigned v = parse_jobs(arg + 2)) return v;
+    }
+  }
+  return default_jobs();
+}
+
+Pool::Pool(unsigned jobs) : jobs_(jobs ? jobs : default_jobs()) {
+  workers_.reserve(jobs_ - 1);
+  for (unsigned i = 0; i + 1 < jobs_; ++i)
+    workers_.emplace_back([this] { worker(); });
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Pool::drain(const std::function<void(std::size_t)>& fn, std::size_t n) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    if (++done_ == n_) done_cv_.notify_all();
+  }
+}
+
+void Pool::for_each_index(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    done_ = 0;
+    error_ = nullptr;
+  }
+  work_cv_.notify_all();
+  drain(fn, n);  // the caller is worker #0
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return done_ == n_; });
+    fn_ = nullptr;
+    err = error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void Pool::worker() {
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return stop_ ||
+               (fn_ != nullptr &&
+                next_.load(std::memory_order_relaxed) < n_);
+      });
+      if (stop_) return;
+      fn = fn_;
+      n = n_;
+    }
+    drain(*fn, n);
+  }
+}
+
+}  // namespace xp::sweep

@@ -3,6 +3,15 @@
 // Holds the *durable* contents of a namespace: every byte that has reached
 // the ADR domain (WPQ admission or deeper). Pages materialize lazily;
 // unwritten bytes read as zero, matching a freshly provisioned region.
+//
+// The timed data path touches the image once per 64 B cache line, so a
+// sequential access would pay one hash lookup per line. A one-entry
+// last-page cache short-circuits that: consecutive lines land on the same
+// 64 KB page 1023 times out of 1024. The cache also remembers *absent*
+// pages, which is what the discard-data bandwidth namespaces hit on every
+// load. Like the rest of a Platform, a SparseImage may only be touched by
+// one host thread at a time (the sweep engine gives each point its own
+// Platform), so the mutable cache needs no synchronization.
 #pragma once
 
 #include <array>
@@ -30,11 +39,11 @@ class SparseImage {
       const std::size_t in_page = static_cast<std::size_t>(pos % kPage);
       const std::size_t n =
           std::min(out.size() - done, kPage - in_page);
-      auto it = pages_.find(page);
-      if (it == pages_.end()) {
+      const Page* p = find_page(page);
+      if (p == nullptr) {
         std::memset(out.data() + done, 0, n);
       } else {
-        std::memcpy(out.data() + done, it->second->data() + in_page, n);
+        std::memcpy(out.data() + done, p->data() + in_page, n);
       }
       done += n;
     }
@@ -48,12 +57,7 @@ class SparseImage {
       const std::uint64_t page = pos / kPage;
       const std::size_t in_page = static_cast<std::size_t>(pos % kPage);
       const std::size_t n = std::min(in.size() - done, kPage - in_page);
-      auto& p = pages_[page];
-      if (!p) {
-        p = std::make_unique<Page>();
-        p->fill(0);
-      }
-      std::memcpy(p->data() + in_page, in.data() + done, n);
+      std::memcpy(ensure_page(page)->data() + in_page, in.data() + done, n);
       done += n;
     }
   }
@@ -62,14 +66,46 @@ class SparseImage {
 
   // Drop all contents (used for Memory-Mode namespaces on power failure:
   // they are volatile by construction).
-  void clear() { pages_.clear(); }
+  void clear() {
+    pages_.clear();
+    cached_index_ = kNoPage;
+    cached_page_ = nullptr;
+  }
 
  private:
   static constexpr std::uint64_t kPage = 64 * 1024;
+  static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
   using Page = std::array<std::uint8_t, kPage>;
+
+  // Cached lookup. A null result ("page absent") is cached too; it stays
+  // valid because the only way a page materializes is ensure_page(),
+  // which refreshes the cache. Page storage is heap-allocated, so cached
+  // pointers survive rehashing of the map.
+  const Page* find_page(std::uint64_t page) const {
+    if (page == cached_index_) return cached_page_;
+    auto it = pages_.find(page);
+    cached_index_ = page;
+    cached_page_ = it == pages_.end() ? nullptr : it->second.get();
+    return cached_page_;
+  }
+
+  Page* ensure_page(std::uint64_t page) {
+    if (page == cached_index_ && cached_page_ != nullptr)
+      return cached_page_;
+    auto& p = pages_[page];
+    if (!p) {
+      p = std::make_unique<Page>();
+      p->fill(0);
+    }
+    cached_index_ = page;
+    cached_page_ = p.get();
+    return cached_page_;
+  }
 
   std::uint64_t size_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  mutable std::uint64_t cached_index_ = kNoPage;
+  mutable Page* cached_page_ = nullptr;
 };
 
 }  // namespace xp::hw

@@ -368,6 +368,41 @@ TEST(Scheduler, InterleavesByLocalTime) {
     EXPECT_GE(trace[i].first, trace[i - 1].first);
 }
 
+TEST(Scheduler, SpawnDuringRunLeavesFastPath) {
+  // With one live thread the scheduler steps it in a tight loop; a step
+  // that spawns a second thread must break out so the new thread (clock
+  // 0) runs before the spawner's later steps.
+  Scheduler sched;
+  std::vector<std::pair<Time, unsigned>> trace;
+  sched.spawn({.id = 0, .socket = 0, .mlp = 1, .seed = 1},
+              [&](ThreadCtx& ctx) mutable {
+                trace.emplace_back(ctx.now(), ctx.id());
+                ctx.advance_by(ns(10));
+                if (trace.size() == 3) {
+                  sched.spawn({.id = 1, .socket = 0, .mlp = 1, .seed = 2},
+                              [&](ThreadCtx& child) {
+                                trace.emplace_back(child.now(), child.id());
+                                child.advance_by(ns(5));
+                                return child.now() < ns(15);
+                              });
+                }
+                return ctx.now() < ns(100);
+              });
+  sched.run();
+  EXPECT_EQ(sched.live_threads(), 0u);
+  // The child starts at clock 0 — far behind the spawner — so its three
+  // steps (0, 5, 10 ns) must run immediately after the spawning step,
+  // before any later parent step.
+  ASSERT_GE(trace.size(), 6u);
+  EXPECT_EQ(trace[2], (std::pair<Time, unsigned>{ns(20), 0u}));
+  EXPECT_EQ(trace[3], (std::pair<Time, unsigned>{ns(0), 1u}));
+  EXPECT_EQ(trace[4], (std::pair<Time, unsigned>{ns(5), 1u}));
+  EXPECT_EQ(trace[5], (std::pair<Time, unsigned>{ns(10), 1u}));
+  int child_steps = 0;
+  for (const auto& [t, id] : trace) child_steps += id == 1;
+  EXPECT_EQ(child_steps, 3);
+}
+
 TEST(Scheduler, RunUntilStopsAtDeadline) {
   Scheduler sched;
   sched.spawn({.id = 0, .socket = 0, .mlp = 1, .seed = 1},
