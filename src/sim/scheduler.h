@@ -104,14 +104,19 @@ class Scheduler {
   // extra indirection is measurable there.
   template <typename F>
   ThreadCtx& spawn(const ThreadCtx::Options& opts, F step) {
-    threads_.push_back(std::make_unique<ThreadCtx>(opts));
-    auto* state = new F(std::move(step));
-    steps_.emplace_back(state,
-                        [](void* p) { delete static_cast<F*>(p); });
-    heap_.push(Entry{threads_.back().get(), state,
-                     [](void* p, ThreadCtx& ctx) {
-                       return (*static_cast<F*>(p))(ctx);
+    threads_.reserve(threads_.size() + 1);
+    steps_.reserve(steps_.size() + 1);
+    auto ctx = std::make_unique<ThreadCtx>(opts);
+    StepState state(new F(std::move(step)),
+                    [](void* p) { delete static_cast<F*>(p); });
+    heap_.push(Entry{ctx.get(), state.get(),
+                     [](void* p, ThreadCtx& c) {
+                       return (*static_cast<F*>(p))(c);
                      }});
+    // Capacity is reserved and unique_ptr moves are noexcept, so the heap
+    // entry's pointers cannot be orphaned past this point.
+    steps_.push_back(std::move(state));
+    threads_.push_back(std::move(ctx));
     return *threads_.back();
   }
 

@@ -41,8 +41,20 @@ unsigned jobs_from_args(int argc, char** argv) {
 
 Pool::Pool(unsigned jobs) : jobs_(jobs ? jobs : default_jobs()) {
   workers_.reserve(jobs_ - 1);
-  for (unsigned i = 0; i + 1 < jobs_; ++i)
-    workers_.emplace_back([this] { worker(); });
+  try {
+    for (unsigned i = 0; i + 1 < jobs_; ++i)
+      workers_.emplace_back([this] { worker(); });
+  } catch (...) {
+    // Thread creation can fail at high --jobs; shut down the workers we
+    // did start or their joinable std::threads would terminate().
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    throw;
+  }
 }
 
 Pool::~Pool() {
@@ -54,60 +66,66 @@ Pool::~Pool() {
   for (auto& w : workers_) w.join();
 }
 
-void Pool::drain(const std::function<void(std::size_t)>& fn, std::size_t n) {
+void Pool::drain(std::size_t epoch) {
   for (;;) {
-    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n) return;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t i = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (epoch != epoch_ || next_ >= n_) return;
+      i = next_++;
+      fn = fn_;
+    }
     try {
-      fn(i);
+      (*fn)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
       if (!error_) error_ = std::current_exception();
     }
     std::lock_guard<std::mutex> lk(mu_);
-    if (++done_ == n_) done_cv_.notify_all();
+    // The caller blocks until done_ == n_, so the epoch cannot advance
+    // while a claimed point is running; the check is defense in depth.
+    if (epoch == epoch_ && ++done_ == n_) done_cv_.notify_all();
   }
 }
 
 void Pool::for_each_index(std::size_t n,
                           const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  std::size_t epoch = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    epoch = ++epoch_;
     fn_ = &fn;
     n_ = n;
-    next_.store(0, std::memory_order_relaxed);
+    next_ = 0;
     done_ = 0;
     error_ = nullptr;
   }
   work_cv_.notify_all();
-  drain(fn, n);  // the caller is worker #0
+  drain(epoch);  // the caller is worker #0
   std::exception_ptr err;
   {
     std::unique_lock<std::mutex> lk(mu_);
     done_cv_.wait(lk, [&] { return done_ == n_; });
     fn_ = nullptr;
     err = error_;
+    error_ = nullptr;
   }
   if (err) std::rethrow_exception(err);
 }
 
 void Pool::worker() {
   for (;;) {
-    const std::function<void(std::size_t)>* fn = nullptr;
-    std::size_t n = 0;
+    std::size_t epoch = 0;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] {
-        return stop_ ||
-               (fn_ != nullptr &&
-                next_.load(std::memory_order_relaxed) < n_);
-      });
+      work_cv_.wait(lk,
+                    [&] { return stop_ || (fn_ != nullptr && next_ < n_); });
       if (stop_) return;
-      fn = fn_;
-      n = n_;
+      epoch = epoch_;
     }
-    drain(*fn, n);
+    drain(epoch);
   }
 }
 

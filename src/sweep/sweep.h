@@ -14,7 +14,6 @@
 // std::thread::hardware_concurrency().
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -58,8 +57,13 @@ class Pool {
 
  private:
   void worker();
-  // Claim and run points of the current batch until none are left.
-  void drain(const std::function<void(std::size_t)>& fn, std::size_t n);
+  // Claim and run points of batch `epoch` until none are left or a newer
+  // batch has started. Indices are claimed under mu_ together with an
+  // epoch check, so a worker that raced past the end of one batch can
+  // never steal an index (or run the already-destroyed function) of the
+  // next one. Each point is a whole simulation run, so the per-point
+  // mutex acquisition is noise.
+  void drain(std::size_t epoch);
 
   unsigned jobs_;
   std::vector<std::thread> workers_;
@@ -67,10 +71,12 @@ class Pool {
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for a batch
   std::condition_variable done_cv_;   // caller waits for completion
+  // Batch state, all guarded by mu_.
   const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t n_ = 0;
-  std::atomic<std::size_t> next_{0};  // next unclaimed point index
-  std::size_t done_ = 0;              // completed points in this batch
+  std::size_t next_ = 0;   // next unclaimed point index
+  std::size_t done_ = 0;   // completed points in this batch
+  std::size_t epoch_ = 0;  // batch generation counter
   std::exception_ptr error_;
   bool stop_ = false;
 };

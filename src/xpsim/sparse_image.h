@@ -9,17 +9,25 @@
 // last-page cache short-circuits that: consecutive lines land on the same
 // 64 KB page 1023 times out of 1024. The cache also remembers *absent*
 // pages, which is what the discard-data bandwidth namespaces hit on every
-// load. Like the rest of a Platform, a SparseImage may only be touched by
-// one host thread at a time (the sweep engine gives each point its own
-// Platform), so the mutable cache needs no synchronization.
+// load.
+//
+// THREADING CONTRACT: like the rest of a Platform, a SparseImage is
+// single-owner — only one host thread may touch it, ever (the sweep
+// engine gives each point its own Platform). Because the cache is
+// mutable, even concurrent const read() calls are a data race. Debug
+// builds latch the first accessing thread and assert on any other, so a
+// sweep that accidentally shares a Platform fails loudly instead of
+// racing.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <span>
+#include <thread>
 #include <unordered_map>
 
 namespace xp::hw {
@@ -31,6 +39,7 @@ class SparseImage {
   std::uint64_t size() const { return size_; }
 
   void read(std::uint64_t off, std::span<std::uint8_t> out) const {
+    check_owner();
     assert(off + out.size() <= size_);
     std::size_t done = 0;
     while (done < out.size()) {
@@ -50,6 +59,7 @@ class SparseImage {
   }
 
   void write(std::uint64_t off, std::span<const std::uint8_t> in) {
+    check_owner();
     assert(off + in.size() <= size_);
     std::size_t done = 0;
     while (done < in.size()) {
@@ -67,6 +77,7 @@ class SparseImage {
   // Drop all contents (used for Memory-Mode namespaces on power failure:
   // they are volatile by construction).
   void clear() {
+    check_owner();
     pages_.clear();
     cached_index_ = kNoPage;
     cached_page_ = nullptr;
@@ -102,10 +113,32 @@ class SparseImage {
     return cached_page_;
   }
 
+#ifndef NDEBUG
+  // Latch the first host thread that touches the image and fail fast on
+  // any other. The mutable page cache makes even const reads writes, so
+  // shared use is a data race no matter how it is interleaved.
+  void check_owner() const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (!owner_.compare_exchange_strong(expected, self,
+                                        std::memory_order_relaxed) &&
+        expected != self) {
+      assert(false &&
+             "SparseImage (and its Platform) is single-owner; run each "
+             "sweep point on its own Platform");
+    }
+  }
+#else
+  void check_owner() const {}
+#endif
+
   std::uint64_t size_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
   mutable std::uint64_t cached_index_ = kNoPage;
   mutable Page* cached_page_ = nullptr;
+#ifndef NDEBUG
+  mutable std::atomic<std::thread::id> owner_{};
+#endif
 };
 
 }  // namespace xp::hw

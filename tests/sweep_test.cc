@@ -47,6 +47,20 @@ TEST(Pool, ReusableAcrossBatches) {
   }
 }
 
+// Regression test for a batch-reuse race: a worker still waking up from
+// one batch must never claim an index of the next batch (and invoke the
+// by-then-destroyed function object). Thousands of tiny back-to-back
+// batches maximize the window where a stale worker races the reset.
+TEST(Pool, RapidBatchTurnoverIsSafe) {
+  sweep::Pool pool(4);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::atomic<int>> hits(3);
+    pool.for_each_index(hits.size(),
+                        [&](std::size_t i) { ++hits[i]; });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
 TEST(Pool, RethrowsFirstException) {
   sweep::Pool pool(2);
   std::atomic<int> completed{0};
