@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full test gate: a Debug build with ASan+UBSan and a Release build, both
+# running the complete ctest suite, then a bounded crash-point sweep
+# (~200 points per store) as a smoke check that every persistent store's
+# recovery invariants hold. Intended for CI and for pre-commit runs.
+#
+# Usage: scripts/run_tests.sh [jobs]
+#   jobs  defaults to the machine's core count (or XP_JOBS if set).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-${XP_JOBS:-$(nproc)}}"
+
+echo "== Debug + ASan/UBSan =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" > /dev/null
+cmake --build build-asan -j "$JOBS" > /dev/null
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo
+echo "== Release =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build-release -j "$JOBS" > /dev/null
+(cd build-release && ctest --output-on-failure -j "$JOBS")
+
+echo
+echo "== crashmc smoke sweep (~200 points per store) =="
+build-release/bench/crashmc_sweep --points 200
+
+echo
+echo "All test gates passed."

@@ -1,0 +1,78 @@
+#include "crashmc/explorer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "sim/rng.h"
+
+namespace xp::crashmc {
+
+namespace {
+
+// Distinct crash points to explore: all of [1, total] when exhaustive,
+// otherwise `samples` distinct values drawn from a seeded RNG (sorted, so
+// progress is monotone and runs are reproducible).
+std::vector<std::uint64_t> choose_points(std::uint64_t total,
+                                         const Options& opts) {
+  std::vector<std::uint64_t> points;
+  if (total == 0) return points;
+  if (total <= opts.max_exhaustive || opts.samples >= total) {
+    points.resize(static_cast<std::size_t>(total));
+    for (std::uint64_t k = 0; k < total; ++k) points[k] = k + 1;
+    return points;
+  }
+  sim::Rng rng(opts.seed * 0x9e3779b97f4a7c15ULL + total);
+  std::unordered_set<std::uint64_t> seen;
+  while (seen.size() < opts.samples)
+    seen.insert(1 + rng.uniform(total));
+  points.assign(seen.begin(), seen.end());
+  std::sort(points.begin(), points.end());
+  return points;
+}
+
+}  // namespace
+
+Result explore(Target& target, const Options& opts) {
+  Result r;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Baseline: a crash-free run measures the event count and must itself
+  // pass recovery (re-opening a cleanly written store is a recovery too).
+  {
+    hw::Platform& platform = target.reset();
+    const std::uint64_t before = platform.persist_events();
+    target.run();
+    r.total_events = platform.persist_events() - before;
+    platform.reset_timing();
+    ++r.points_explored;
+    if (std::string err = target.recover_and_check(); !err.empty())
+      r.violations.push_back({0, "crash-free run: " + err});
+  }
+
+  if (opts.keep_going || r.violations.empty()) {
+    for (const std::uint64_t k : choose_points(r.total_events, opts)) {
+      hw::Platform& platform = target.reset();
+      platform.crash_after(k);
+      try {
+        target.run();
+      } catch (const hw::CrashPointHit&) {
+      }
+      if (platform.crash_fired()) ++r.crashes_fired;
+      platform.clear_crash_trigger();
+      platform.reset_timing();
+      ++r.points_explored;
+      if (std::string err = target.recover_and_check(); !err.empty()) {
+        r.violations.push_back({k, err});
+        if (!opts.keep_going) break;
+      }
+    }
+  }
+
+  r.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return r;
+}
+
+}  // namespace xp::crashmc

@@ -1,0 +1,504 @@
+#include "crashmc/workloads.h"
+
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "lsmkv/db.h"
+#include "novafs/novafs.h"
+#include "pmemkv/cmap.h"
+#include "pmemkv/stree.h"
+#include "pmemlib/pmem_ops.h"
+#include "pmemlib/pool.h"
+#include "sim/rng.h"
+
+namespace xp::crashmc {
+
+namespace {
+
+sim::ThreadCtx make_thread(unsigned id) {
+  return sim::ThreadCtx({.id = id, .socket = 0, .mlp = 8, .seed = id + 1});
+}
+
+// ------------------------------------------------------------- pmemlib --
+
+// Versioned-slot workload: each thread owns half of the root's slots and
+// bumps two of them per transaction (with allocator churn in the same
+// tx). Slot s at version v holds encode(s, v), so recovery can verify
+// both the version window [acked, attempted] and the exact bytes.
+class PmemlibTarget final : public Target {
+ public:
+  explicit PmemlibTarget(bool inject) : inject_(inject) {}
+
+  std::string name() const override {
+    return inject_ ? "pmemlib-faulty" : "pmemlib";
+  }
+
+  hw::Platform& reset() override {
+    platform_ = std::make_unique<hw::Platform>();
+    ns_ = &platform_->optane(8 << 20);
+    sim::ThreadCtx ctx = make_thread(0);
+    pmem::Pool pool(*ns_);
+    pool.create(ctx, kSlots * 8);
+    root_ = pool.root(ctx);
+    for (unsigned s = 0; s < kSlots; ++s) {
+      pmem::store_persist_pod(ctx, *ns_, root_ + s * 8, encode(s, 0));
+      acked_[s] = attempted_[s] = 0;
+    }
+    platform_->reset_timing();
+    return *platform_;
+  }
+
+  hw::PmemNamespace& nspace() override { return *ns_; }
+
+  void run() override {
+    pmem::Pool pool(*ns_);
+    if (inject_) pool.set_test_fault(pmem::Pool::TestFault::kSkipCommitFlush);
+    sim::ThreadCtx ta = make_thread(0);  // lane 0, slots [0, kSlots/2)
+    sim::ThreadCtx tb = make_thread(1);  // lane 1, slots [kSlots/2, kSlots)
+    sim::Rng rng(7);
+    std::uint64_t held_a = 0, held_b = 0;
+    const unsigned rounds = inject_ ? 3 : 5;
+    for (unsigned r = 1; r <= rounds; ++r) {
+      do_round(pool, ta, 0, r, held_a, rng);
+      do_round(pool, tb, kSlots / 2, r, held_b, rng);
+    }
+  }
+
+  std::string recover_and_check() override {
+    sim::ThreadCtx ctx = make_thread(5);
+    pmem::Pool pool(*ns_);
+    if (!pool.open(ctx)) return "open() found no valid pool";
+    if (std::string err = pool.check(ctx); !err.empty()) return err;
+    for (unsigned s = 0; s < kSlots; ++s) {
+      const auto v = ns_->load_pod<std::uint64_t>(ctx, root_ + s * 8);
+      if (v != encode(s, acked_[s]) && v != encode(s, attempted_[s]))
+        return "slot " + std::to_string(s) + ": recovered " +
+               std::to_string(v) + ", want version " +
+               std::to_string(acked_[s]) + " or " +
+               std::to_string(attempted_[s]);
+    }
+    return "";
+  }
+
+ private:
+  static constexpr unsigned kSlots = 16;
+
+  static std::uint64_t encode(unsigned slot, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(slot) << 32) | seq;
+  }
+
+  void do_round(pmem::Pool& pool, sim::ThreadCtx& ctx, unsigned base,
+                std::uint64_t seq, std::uint64_t& held, sim::Rng& rng) {
+    const unsigned s1 = base + static_cast<unsigned>(rng.uniform(kSlots / 2));
+    unsigned s2 = base + static_cast<unsigned>(rng.uniform(kSlots / 2));
+    if (s2 == s1) s2 = base + (s1 - base + 1) % (kSlots / 2);
+
+    attempted_[s1] = seq;
+    attempted_[s2] = seq;
+    pmem::Tx tx(pool, ctx);
+    for (unsigned s : {s1, s2}) {
+      tx.add(root_ + s * 8, 8);
+      const std::uint64_t v = encode(s, seq);
+      tx.store(root_ + s * 8,
+               std::span<const std::uint8_t>(
+                   reinterpret_cast<const std::uint8_t*>(&v), 8));
+    }
+    // Allocator churn: free last round's block, grab a new one.
+    if (held != 0) pool.tx_free(tx, held, 64);
+    held = pool.tx_alloc(tx, 64 + 64 * rng.uniform(3));
+    tx.commit();
+    acked_[s1] = seq;
+    acked_[s2] = seq;
+  }
+
+  bool inject_;
+  std::unique_ptr<hw::Platform> platform_;
+  hw::PmemNamespace* ns_ = nullptr;
+  std::uint64_t root_ = 0;
+  std::uint64_t acked_[kSlots] = {};
+  std::uint64_t attempted_[kSlots] = {};
+};
+
+// --------------------------------------------------------------- lsmkv --
+
+// Every operation is WAL-synced before it returns, so the recovered
+// logical state (over the whole key universe) must byte-match the state
+// before or after the single in-flight operation. Small memtable and a
+// low L0 trigger pull flushes and a compaction into the crash window.
+class LsmkvTarget final : public Target {
+ public:
+  explicit LsmkvTarget(kv::WalMode mode) : mode_(mode) {}
+
+  std::string name() const override {
+    return mode_ == kv::WalMode::kPosix ? "lsmkv-posix" : "lsmkv-flex";
+  }
+
+  hw::Platform& reset() override {
+    platform_ = std::make_unique<hw::Platform>();
+    ns_ = &platform_->optane(32 << 20);
+    opts_ = kv::DbOptions{};
+    opts_.wal = mode_;
+    opts_.memtable = kv::MemtableMode::kVolatile;
+    opts_.wal_capacity = 1 << 20;
+    opts_.memtable_bytes = 512;
+    opts_.l0_compaction_trigger = 2;
+    opts_.sync_every_op = true;
+    db_ = std::make_unique<kv::Db>(*ns_, opts_);
+    sim::ThreadCtx ctx = make_thread(0);
+    db_->create(ctx);
+    prev_.clear();
+    cur_.clear();
+    platform_->reset_timing();
+    return *platform_;
+  }
+
+  hw::PmemNamespace& nspace() override { return *ns_; }
+
+  void run() override {
+    sim::ThreadCtx ctx = make_thread(0);
+    sim::Rng rng(11);
+    for (unsigned op = 0; op < kOps; ++op) {
+      const std::string key = "key" + std::to_string(rng.uniform(kKeys));
+      prev_ = cur_;
+      if (rng.uniform(4) == 0 && cur_.count(key) != 0) {
+        cur_.erase(key);
+        db_->del(ctx, key);
+      } else {
+        const std::string val =
+            key + "#" + std::to_string(op) +
+            std::string(4 + rng.uniform(16), 'a' + static_cast<char>(op % 26));
+        cur_[key] = val;
+        db_->put(ctx, key, val);
+      }
+    }
+  }
+
+  std::string recover_and_check() override {
+    sim::ThreadCtx ctx = make_thread(5);
+    kv::Db db(*ns_, opts_);
+    if (!db.open(ctx)) return "open() found no valid database";
+    if (std::string err = db.check(ctx); !err.empty()) return err;
+    std::map<std::string, std::string> got;
+    for (unsigned k = 0; k < kKeys; ++k) {
+      const std::string key = "key" + std::to_string(k);
+      std::string v;
+      if (db.get(ctx, key, &v)) got[key] = v;
+    }
+    if (got != prev_ && got != cur_)
+      return "recovered state matches neither the pre-op nor the post-op "
+             "state (" +
+             std::to_string(got.size()) + " live keys)";
+    return "";
+  }
+
+ private:
+  static constexpr unsigned kKeys = 8;
+  static constexpr unsigned kOps = 48;
+
+  kv::WalMode mode_;
+  std::unique_ptr<hw::Platform> platform_;
+  hw::PmemNamespace* ns_ = nullptr;
+  kv::DbOptions opts_;
+  std::unique_ptr<kv::Db> db_;
+  std::map<std::string, std::string> prev_, cur_;
+};
+
+// -------------------------------------------------------------- novafs --
+
+// Single-page writes (embedded and CoW), page-aligned truncates and
+// create/unlink are each committed by one atomic log append, so the
+// recovered file set must byte-match the pre- or post-op state. Low
+// merge/clean thresholds pull the overlay merge and the log cleaner into
+// the crash window.
+class NovafsTarget final : public Target {
+ public:
+  std::string name() const override { return "novafs"; }
+
+  hw::Platform& reset() override {
+    platform_ = std::make_unique<hw::Platform>();
+    ns_ = &platform_->optane(8 << 20);
+    opt_ = nova::NovaOptions{};
+    opt_.datalog = true;
+    opt_.merge_threshold = 4;
+    opt_.clean_threshold = 6;
+    fs_ = std::make_unique<nova::NovaFs>(*ns_, opt_);
+    sim::ThreadCtx ctx = make_thread(0);
+    fs_->format(ctx);
+    prev_.clear();
+    cur_.clear();
+    platform_->reset_timing();
+    return *platform_;
+  }
+
+  hw::PmemNamespace& nspace() override { return *ns_; }
+
+  void run() override {
+    sim::ThreadCtx ctx = make_thread(0);
+    sim::Rng rng(13);
+    const std::string names[] = {"alpha", "beta", "gamma"};
+    for (unsigned op = 0; op < kOps; ++op) {
+      const std::string& name = names[rng.uniform(3)];
+      prev_ = cur_;
+      const std::uint64_t action = rng.uniform(8);
+      if (cur_.count(name) == 0) {
+        // Bring the file into existence (atomic: inode + dirent append).
+        cur_[name] = "";
+        fs_->create(ctx, name);
+      } else if (action == 0) {
+        cur_.erase(name);
+        fs_->unlink(ctx, name);
+      } else if (action == 1) {
+        const std::uint64_t new_size = rng.uniform(4) * nova::NovaFs::kPageSize;
+        cur_[name].resize(new_size, '\0');
+        const int ino = fs_->open(ctx, name);
+        fs_->truncate(ctx, ino, new_size);
+      } else if (action == 2) {
+        // Full-page CoW write.
+        const std::uint64_t page = rng.uniform(3);
+        write_model(name, page * nova::NovaFs::kPageSize,
+                    nova::NovaFs::kPageSize, static_cast<char>('A' + op % 26));
+        std::vector<std::uint8_t> buf(nova::NovaFs::kPageSize,
+                                      static_cast<std::uint8_t>('A' + op % 26));
+        const int ino = fs_->open(ctx, name);
+        fs_->write(ctx, ino, page * nova::NovaFs::kPageSize, buf);
+      } else {
+        // Small write, embedded in the log; stays inside one page.
+        const std::uint64_t page = rng.uniform(3);
+        const std::uint64_t len = 1 + rng.uniform(400);
+        const std::uint64_t in_page =
+            rng.uniform(nova::NovaFs::kPageSize - len);
+        write_model(name, page * nova::NovaFs::kPageSize + in_page, len,
+                    static_cast<char>('a' + op % 26));
+        std::vector<std::uint8_t> buf(len,
+                                      static_cast<std::uint8_t>('a' + op % 26));
+        const int ino = fs_->open(ctx, name);
+        fs_->write(ctx, ino, page * nova::NovaFs::kPageSize + in_page, buf);
+      }
+    }
+  }
+
+  std::string recover_and_check() override {
+    sim::ThreadCtx ctx = make_thread(5);
+    nova::NovaFs fs(*ns_, opt_);
+    if (!fs.mount(ctx)) return "mount() found no valid file system";
+    if (std::string err = fs.fsck(ctx); !err.empty()) return err;
+    std::map<std::string, std::string> got;
+    for (const char* name : {"alpha", "beta", "gamma"}) {
+      const int ino = fs.open(ctx, name);
+      if (ino < 0) continue;
+      const std::uint64_t size = fs.size(ctx, ino);
+      std::string content(size, '\0');
+      fs.read(ctx, ino, 0,
+              std::span<std::uint8_t>(
+                  reinterpret_cast<std::uint8_t*>(content.data()), size));
+      got[name] = std::move(content);
+    }
+    if (got != prev_ && got != cur_)
+      return "recovered file set matches neither the pre-op nor the "
+             "post-op state";
+    return "";
+  }
+
+ private:
+  static constexpr unsigned kOps = 28;
+
+  void write_model(const std::string& name, std::uint64_t off,
+                   std::uint64_t len, char fill) {
+    std::string& content = cur_[name];
+    if (content.size() < off + len) content.resize(off + len, '\0');
+    std::memset(content.data() + off, fill, len);
+  }
+
+  std::unique_ptr<hw::Platform> platform_;
+  hw::PmemNamespace* ns_ = nullptr;
+  nova::NovaOptions opt_;
+  std::unique_ptr<nova::NovaFs> fs_;
+  std::map<std::string, std::string> prev_, cur_;
+};
+
+// ---------------------------------------------------------------- cmap --
+
+// Values stay short enough (header + key + value inside one 64 B line)
+// that the in-place update path is a single-line atomic persist; length
+// changes exercise the transactional insert path and removes the
+// transactional unlink. Recovered state is pre- or post-op.
+class CmapTarget final : public Target {
+ public:
+  std::string name() const override { return "pmemkv-cmap"; }
+
+  hw::Platform& reset() override {
+    platform_ = std::make_unique<hw::Platform>();
+    ns_ = &platform_->optane(8 << 20);
+    pool_ = std::make_unique<pmem::Pool>(*ns_);
+    sim::ThreadCtx ctx = make_thread(0);
+    pool_->create(ctx, 64);
+    map_ = std::make_unique<pmemkv::CMap>(*pool_);
+    map_->create(ctx);
+    prev_.clear();
+    cur_.clear();
+    platform_->reset_timing();
+    return *platform_;
+  }
+
+  hw::PmemNamespace& nspace() override { return *ns_; }
+
+  void run() override {
+    sim::ThreadCtx ctx = make_thread(0);
+    sim::Rng rng(17);
+    for (unsigned op = 0; op < kOps; ++op) {
+      const std::string key = "k" + std::to_string(rng.uniform(kKeys));
+      prev_ = cur_;
+      if (rng.uniform(5) == 0 && cur_.count(key) != 0) {
+        cur_.erase(key);
+        map_->remove(ctx, key);
+      } else {
+        // Two sizes: matching size -> in-place update, differing size ->
+        // transactional replace.
+        const std::size_t len = rng.uniform(2) == 0 ? 8 : 24;
+        std::string val = key + "#" + std::to_string(op);
+        val.resize(len, 'x');
+        cur_[key] = val;
+        map_->put(ctx, key, val);
+      }
+    }
+  }
+
+  std::string recover_and_check() override {
+    sim::ThreadCtx ctx = make_thread(5);
+    pmem::Pool pool(*ns_);
+    if (!pool.open(ctx)) return "open() found no valid pool";
+    if (std::string err = pool.check(ctx); !err.empty()) return err;
+    pmemkv::CMap map(pool);
+    map.open(ctx);
+    if (std::string err = map.check(ctx); !err.empty()) return err;
+    std::map<std::string, std::string> got;
+    for (unsigned k = 0; k < kKeys; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      std::string v;
+      if (map.get(ctx, key, &v)) got[key] = v;
+    }
+    if (got != prev_ && got != cur_)
+      return "recovered map matches neither the pre-op nor the post-op "
+             "state";
+    return "";
+  }
+
+ private:
+  static constexpr unsigned kKeys = 12;
+  static constexpr unsigned kOps = 40;
+
+  std::unique_ptr<hw::Platform> platform_;
+  hw::PmemNamespace* ns_ = nullptr;
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<pmemkv::CMap> map_;
+  std::map<std::string, std::string> prev_, cur_;
+};
+
+// --------------------------------------------------------------- stree --
+
+// Enough keys to force leaf splits (transactional); inserts commit via
+// the bitmap persist, updates via the val_off persist, removes via the
+// bitmap persist — all atomic, so recovered state is pre- or post-op.
+class StreeTarget final : public Target {
+ public:
+  std::string name() const override { return "pmemkv-stree"; }
+
+  hw::Platform& reset() override {
+    platform_ = std::make_unique<hw::Platform>();
+    ns_ = &platform_->optane(8 << 20);
+    pool_ = std::make_unique<pmem::Pool>(*ns_);
+    sim::ThreadCtx ctx = make_thread(0);
+    pool_->create(ctx, 64);
+    tree_ = std::make_unique<pmemkv::STree>(*pool_);
+    tree_->create(ctx);
+    prev_.clear();
+    cur_.clear();
+    platform_->reset_timing();
+    return *platform_;
+  }
+
+  hw::PmemNamespace& nspace() override { return *ns_; }
+
+  void run() override {
+    sim::ThreadCtx ctx = make_thread(0);
+    sim::Rng rng(19);
+    for (unsigned op = 0; op < kOps; ++op) {
+      char key[8];
+      std::snprintf(key, sizeof(key), "key%02u",
+                    static_cast<unsigned>(rng.uniform(kKeys)));
+      prev_ = cur_;
+      if (rng.uniform(6) == 0 && cur_.count(key) != 0) {
+        cur_.erase(key);
+        tree_->remove(ctx, key);
+      } else {
+        const std::string val =
+            std::string(key) + "=" + std::to_string(op) +
+            std::string(rng.uniform(12), 'v');
+        cur_[key] = val;
+        tree_->put(ctx, key, val);
+      }
+    }
+  }
+
+  std::string recover_and_check() override {
+    sim::ThreadCtx ctx = make_thread(5);
+    pmem::Pool pool(*ns_);
+    if (!pool.open(ctx)) return "open() found no valid pool";
+    if (std::string err = pool.check(ctx); !err.empty()) return err;
+    pmemkv::STree tree(pool);
+    tree.open(ctx);
+    if (std::string err = tree.check(ctx); !err.empty()) return err;
+    std::map<std::string, std::string> got;
+    for (unsigned k = 0; k < kKeys; ++k) {
+      char key[8];
+      std::snprintf(key, sizeof(key), "key%02u", k);
+      std::string v;
+      if (tree.get(ctx, key, &v)) got[key] = v;
+    }
+    if (got != prev_ && got != cur_)
+      return "recovered tree matches neither the pre-op nor the post-op "
+             "state";
+    return "";
+  }
+
+ private:
+  static constexpr unsigned kKeys = 48;
+  static constexpr unsigned kOps = 60;
+
+  std::unique_ptr<hw::Platform> platform_;
+  hw::PmemNamespace* ns_ = nullptr;
+  std::unique_ptr<pmem::Pool> pool_;
+  std::unique_ptr<pmemkv::STree> tree_;
+  std::map<std::string, std::string> prev_, cur_;
+};
+
+}  // namespace
+
+std::unique_ptr<Target> make_pmemlib_target(bool inject_commit_fault) {
+  return std::make_unique<PmemlibTarget>(inject_commit_fault);
+}
+std::unique_ptr<Target> make_lsmkv_target(kv::WalMode mode) {
+  return std::make_unique<LsmkvTarget>(mode);
+}
+std::unique_ptr<Target> make_novafs_target() {
+  return std::make_unique<NovafsTarget>();
+}
+std::unique_ptr<Target> make_cmap_target() {
+  return std::make_unique<CmapTarget>();
+}
+std::unique_ptr<Target> make_stree_target() {
+  return std::make_unique<StreeTarget>();
+}
+
+std::vector<std::unique_ptr<Target>> all_targets() {
+  std::vector<std::unique_ptr<Target>> targets;
+  targets.push_back(make_pmemlib_target());
+  targets.push_back(make_lsmkv_target());
+  targets.push_back(make_novafs_target());
+  targets.push_back(make_cmap_target());
+  targets.push_back(make_stree_target());
+  return targets;
+}
+
+}  // namespace xp::crashmc

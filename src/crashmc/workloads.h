@@ -1,0 +1,49 @@
+// Crash-point exploration targets for every persistent store in the
+// repo, shared by tests/crashmc_test.cc and bench/crashmc_sweep.cc.
+//
+// Each target packages a deterministic mutation workload with a
+// per-store invariant checker derived from the store's own atomicity
+// analysis:
+//
+//  * pmemlib  — two threads in distinct undo-log lanes bump versioned
+//               slots transactionally (plus allocator churn). A slot must
+//               recover to its last acknowledged or last attempted
+//               version, never anything else, and Pool::check() validates
+//               lane/allocator metadata.
+//  * lsmkv    — every put/del is WAL-synced before acknowledgment, so the
+//               recovered logical state must equal the state before or
+//               after the in-flight operation (committed-prefix
+//               durability), with Db::check() validating manifest/tables.
+//  * novafs   — single-page writes, page-aligned truncates and
+//               create/unlink are each one atomic log append; the
+//               recovered file set must byte-match the pre- or post-op
+//               state, and NovaFs::fsck() validates logs and page
+//               ownership.
+//  * pmemkv   — cmap (in-place single-line updates + transactional
+//               inserts/removes) and stree (slot/bitmap and val_off
+//               commit points, transactional splits): recovered state is
+//               pre- or post-op, with structural checks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crashmc/explorer.h"
+#include "lsmkv/common.h"
+
+namespace xp::crashmc {
+
+// `inject_commit_fault` deliberately skips the clwb of the undo-log
+// lane-retire store in Tx::commit (Pool::TestFault::kSkipCommitFlush) so
+// negative tests can prove the harness catches a real protocol bug.
+std::unique_ptr<Target> make_pmemlib_target(bool inject_commit_fault = false);
+std::unique_ptr<Target> make_lsmkv_target(
+    kv::WalMode mode = kv::WalMode::kFlex);
+std::unique_ptr<Target> make_novafs_target();
+std::unique_ptr<Target> make_cmap_target();
+std::unique_ptr<Target> make_stree_target();
+
+// The standard panel: pmemlib, lsmkv (FLEX WAL), novafs, cmap, stree.
+std::vector<std::unique_ptr<Target>> all_targets();
+
+}  // namespace xp::crashmc

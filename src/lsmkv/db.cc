@@ -165,6 +165,53 @@ std::vector<std::pair<std::string, std::string>> Db::scan(
   return out;
 }
 
+std::string Db::check(sim::ThreadCtx& ctx) {
+  if (std::string err = pool_.check(ctx); !err.empty()) return "pool: " + err;
+
+  const Manifest m = load_manifest(ctx);
+  if (m.wal_mode > static_cast<std::uint32_t>(WalMode::kNone))
+    return "manifest: bad wal_mode " + std::to_string(m.wal_mode);
+  if (m.memtable_mode > static_cast<std::uint32_t>(MemtableMode::kPersistent))
+    return "manifest: bad memtable_mode " + std::to_string(m.memtable_mode);
+  if (m.n_l0 > kMaxL0 || m.n_l1 > kMaxL1)
+    return "manifest: run counts out of range";
+
+  const std::uint64_t heap_lo = pmem::Pool::heap_base();
+  const std::uint64_t heap_hi = pool_.heap_top(ctx);
+  if (static_cast<WalMode>(m.wal_mode) != WalMode::kNone &&
+      (m.wal_base < heap_lo || m.wal_base + m.wal_capacity > heap_hi))
+    return "manifest: WAL region outside allocated heap";
+
+  auto check_table = [&](const char* level, std::uint32_t i,
+                         const TableRef& t) -> std::string {
+    const std::string tag =
+        std::string(level) + "[" + std::to_string(i) + "]";
+    if (t.size == 0 || t.off < heap_lo || t.off + t.size > heap_hi)
+      return tag + ": ref outside allocated heap";
+    if (SsTable::size_bytes(ctx, pool_.ns(), t.off) > t.size)
+      return tag + ": encoded size exceeds allocation";
+    std::string prev;
+    std::string err;
+    bool first = true;
+    SsTable::for_each(ctx, pool_.ns(), t.off,
+                      [&](std::string_view k, std::string_view, bool) {
+                        if (!first && !err.empty()) return;
+                        if (!first && k <= prev)
+                          err = tag + ": keys not strictly increasing";
+                        prev = std::string(k);
+                        first = false;
+                      });
+    return err;
+  };
+  for (std::uint32_t i = 0; i < m.n_l0; ++i)
+    if (std::string err = check_table("l0", i, m.l0[i]); !err.empty())
+      return err;
+  for (std::uint32_t i = 0; i < m.n_l1; ++i)
+    if (std::string err = check_table("l1", i, m.l1[i]); !err.empty())
+      return err;
+  return "";
+}
+
 void Db::maybe_flush(sim::ThreadCtx& ctx) {
   const std::uint64_t bytes = opts_.memtable == MemtableMode::kPersistent
                                   ? pskip_bytes_

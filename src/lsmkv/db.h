@@ -50,6 +50,12 @@ class Db {
   // Force a memtable flush (normally automatic at memtable_bytes).
   void flush(sim::ThreadCtx& ctx);
 
+  // Recovery invariants (crashmc checker entry point). Call after open():
+  // validates pool metadata, the manifest (modes, run counts, table refs
+  // inside the allocated heap) and that every referenced SSTable is
+  // iterable with strictly increasing keys. Returns "" when all hold.
+  std::string check(sim::ThreadCtx& ctx);
+
   // Range scan: up to `max_results` live key/value pairs with
   // key >= start_key, in key order, newest version winning and
   // tombstones hidden. (Merges the memtable and every run; intended for

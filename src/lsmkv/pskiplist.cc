@@ -77,7 +77,9 @@ void PSkiplist::put(sim::ThreadCtx& ctx, std::string_view key,
   std::vector<std::uint8_t> buf(node_size);
   std::memcpy(buf.data(), &h, sizeof(h));
   std::memcpy(buf.data() + sizeof(h), key.data(), key.size());
-  std::memcpy(buf.data() + sizeof(h) + key.size(), value.data(), value.size());
+  if (!value.empty())  // tombstones carry a null, zero-length value view
+    std::memcpy(buf.data() + sizeof(h) + key.size(), value.data(),
+                value.size());
   ns.store_flush(ctx, node, buf);
   ns.sfence(ctx);
 

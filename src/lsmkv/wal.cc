@@ -35,7 +35,8 @@ void Wal::append(ThreadCtx& ctx, std::string_view key, std::string_view value,
   std::memcpy(buf.data(), &tag, 4);
   std::memcpy(buf.data() + 4, &vlen, 4);
   std::memcpy(buf.data() + 8, key.data(), key.size());
-  std::memcpy(buf.data() + 8 + key.size(), value.data(), value.size());
+  if (!value.empty())  // tombstones carry a null, zero-length value view
+    std::memcpy(buf.data() + 8 + key.size(), value.data(), value.size());
 
   const std::uint64_t at = base_ + tail_;
   // Terminator after the record, then payload, then the tag makes the

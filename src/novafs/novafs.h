@@ -77,6 +77,13 @@ class NovaFs final : public FileSystem {
     return opt_.datalog ? "nova-datalog" : "nova";
   }
 
+  // Recovery invariants (crashmc checker entry point). Call after mount():
+  // validates the superblock, every in-use inode's log chain (in-bounds,
+  // acyclic, well-formed entries) and page ownership — no data page
+  // referenced twice, no page serving as both log and data, embedded
+  // extents inside their own inode's log. Returns "" when all hold.
+  std::string fsck(ThreadCtx& ctx);
+
   // Introspection for tests/benches.
   std::size_t log_pages(int ino) const;
   std::size_t overlay_count(int ino) const;

@@ -1,6 +1,7 @@
 #include "pmemkv/cmap.h"
 
 #include <cstring>
+#include <unordered_set>
 #include <vector>
 
 #include "pmemlib/pmem_ops.h"
@@ -8,6 +9,15 @@
 namespace xp::pmemkv {
 
 namespace {
+
+template <typename T>
+T peek_pod(const hw::PmemNamespace& ns, std::uint64_t off) {
+  T t{};
+  ns.peek(off, std::span<std::uint8_t>(
+                   reinterpret_cast<std::uint8_t*>(&t), sizeof(t)));
+  return t;
+}
+
 // Software cost per engine operation: bucket locking, hashing, string
 // handling and allocator bookkeeping. PMemKV's measured per-op overhead
 // is high (its DRAM curve tops out near 10 GB/s in the paper's Fig 19);
@@ -119,6 +129,42 @@ bool CMap::remove(sim::ThreadCtx& ctx, std::string_view key) {
                 sizeof(NodeHeader) + loc.header.klen + loc.header.vlen);
   tx.commit();
   return true;
+}
+
+std::string CMap::check(sim::ThreadCtx& ctx) {
+  const auto& ns = pool_.ns();
+  const std::uint64_t heap_lo = pmem::Pool::heap_base();
+  const std::uint64_t heap_hi = pool_.heap_top(ctx);
+  if (table_ < heap_lo || table_ % 64 != 0 ||
+      table_ + kBuckets * 8 > heap_hi)
+    return "bucket table outside allocated heap";
+
+  const std::uint64_t max_nodes = (heap_hi - heap_lo) / 64;
+  for (std::uint32_t b = 0; b < kBuckets; ++b) {
+    std::unordered_set<std::string> keys;
+    std::uint64_t node = peek_pod<std::uint64_t>(ns, table_ + b * 8);
+    std::uint64_t steps = 0;
+    while (node != 0) {
+      const std::string tag =
+          "bucket " + std::to_string(b) + " node @" + std::to_string(node);
+      if (++steps > max_nodes) return "bucket " + std::to_string(b) + ": cycle";
+      if (node % 64 != 0 || node < heap_lo ||
+          node + sizeof(NodeHeader) > heap_hi)
+        return tag + ": offset outside allocated heap";
+      const auto hd = peek_pod<NodeHeader>(ns, node);
+      if (node + sizeof(NodeHeader) + hd.klen + hd.vlen > heap_hi)
+        return tag + ": key/value overrun heap";
+      std::string k(hd.klen, '\0');
+      ns.peek(node + sizeof(NodeHeader),
+              std::span<std::uint8_t>(
+                  reinterpret_cast<std::uint8_t*>(k.data()), hd.klen));
+      if ((hash(k) & (kBuckets - 1)) != b)
+        return tag + ": key hashes to the wrong bucket";
+      if (!keys.insert(k).second) return tag + ": duplicate key in chain";
+      node = hd.next;
+    }
+  }
+  return "";
 }
 
 std::uint64_t CMap::count(sim::ThreadCtx& ctx) {

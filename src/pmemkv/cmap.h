@@ -32,6 +32,14 @@ class CMap {
 
   std::uint64_t count(sim::ThreadCtx& ctx);
 
+  // Recovery invariants (crashmc checker entry point). Call after open():
+  // validates the bucket table and every chain against the durable image
+  // (untimed peeks — the 64K-bucket scan would swamp simulated time):
+  // node offsets aligned and inside the allocated heap, chains acyclic,
+  // keys hashing to their bucket, no duplicate key within a chain.
+  // Returns "" when all hold.
+  std::string check(sim::ThreadCtx& ctx);
+
  private:
   struct NodeHeader {
     std::uint64_t next;

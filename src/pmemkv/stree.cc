@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cstring>
+#include <set>
 
 #include "pmemlib/pmem_ops.h"
 
@@ -12,6 +13,14 @@ namespace xp::pmemkv {
 namespace {
 std::span<const std::uint8_t> bytes_of(const void* p, std::size_t n) {
   return {static_cast<const std::uint8_t*>(p), n};
+}
+
+template <typename T>
+T peek_pod(const hw::PmemNamespace& ns, std::uint64_t off) {
+  T t{};
+  ns.peek(off, std::span<std::uint8_t>(
+                   reinterpret_cast<std::uint8_t*>(&t), sizeof(t)));
+  return t;
 }
 }  // namespace
 
@@ -234,6 +243,53 @@ std::vector<std::pair<std::string, std::string>> STree::scan(
     }
   }
   return out;
+}
+
+std::string STree::check(sim::ThreadCtx& ctx) {
+  const auto& ns = pool_.ns();
+  const std::uint64_t heap_lo = pmem::Pool::heap_base();
+  const std::uint64_t heap_hi = pool_.heap_top(ctx);
+  if (first_leaf_ == 0) return "no root leaf";
+
+  std::set<std::string> keys;
+  std::string prev_leaf_max;
+  bool have_prev = false;
+  std::uint64_t leaves = 0;
+  const std::uint64_t max_leaves = (heap_hi - heap_lo) / kLeafSize + 1;
+  for (std::uint64_t leaf = first_leaf_; leaf != 0;) {
+    const std::string tag = "leaf @" + std::to_string(leaf);
+    if (++leaves > max_leaves) return "leaf chain: cycle";
+    if (leaf % 64 != 0 || leaf < heap_lo || leaf + kLeafSize > heap_hi)
+      return tag + ": outside allocated heap";
+    const auto h = peek_pod<LeafHeader>(ns, leaf);
+    std::string leaf_min, leaf_max;
+    bool have_any = false;
+    for (unsigned i = 0; i < kLeafSlots; ++i) {
+      if ((h.bitmap & (1u << i)) == 0) continue;
+      const auto s = peek_pod<Slot>(ns, slot_off(leaf, i));
+      if (s.key_len > kMaxKey)
+        return tag + " slot " + std::to_string(i) + ": bad key_len";
+      std::string k(s.key, s.key_len);
+      if (s.val_off < heap_lo || s.val_off + 4 > heap_hi)
+        return tag + " key '" + k + "': val_off outside heap";
+      const auto vlen = peek_pod<std::uint32_t>(ns, s.val_off);
+      if (s.val_off + 4 + vlen > heap_hi)
+        return tag + " key '" + k + "': value blob overruns heap";
+      if (!keys.insert(k).second) return "duplicate key '" + k + "'";
+      if (!have_any || k < leaf_min) leaf_min = k;
+      if (!have_any || k > leaf_max) leaf_max = k;
+      have_any = true;
+    }
+    if (have_any && have_prev && leaf_min <= prev_leaf_max)
+      return tag + ": chain not key-ordered ('" + leaf_min +
+             "' after '" + prev_leaf_max + "')";
+    if (have_any) {
+      prev_leaf_max = leaf_max;
+      have_prev = true;
+    }
+    leaf = h.next;
+  }
+  return "";
 }
 
 std::uint64_t STree::count(sim::ThreadCtx& ctx) {

@@ -52,6 +52,14 @@ class STree {
 
   std::uint64_t count(sim::ThreadCtx& ctx);
 
+  // Recovery invariants (crashmc checker entry point). Call after open():
+  // validates the leaf chain against the durable image (untimed peeks):
+  // leaves in-bounds and acyclic, valid slots with key_len <= kMaxKey and
+  // value blobs inside the allocated heap, keys globally unique, and the
+  // chain key-ordered (every key in a leaf below every key in the next).
+  // Returns "" when all hold.
+  std::string check(sim::ThreadCtx& ctx);
+
  private:
   struct Slot {  // 40 bytes
     std::uint8_t key_len;

@@ -1,5 +1,6 @@
 #include "pmemlib/pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <vector>
@@ -46,6 +47,53 @@ void Pool::recover_lane(ThreadCtx& ctx, unsigned lane) {
   Tx::recover(*this, ctx, lane_off(lane));
 }
 
+std::string Pool::check(ThreadCtx& ctx) {
+  const Header h = read_header(ctx);
+  if (h.magic != kMagic) return "header: bad magic";
+  if (h.pool_size != ns_.size()) return "header: pool_size != namespace size";
+  if (h.heap_top < kHeapBase || h.heap_top > h.pool_size)
+    return "header: heap_top outside [heap_base, pool_size]";
+  if (h.heap_top % 64 != 0) return "header: heap_top misaligned";
+  if (h.root_off < kHeapBase || h.root_off + h.root_size > h.heap_top)
+    return "header: root object outside allocated heap";
+
+  // After open() every lane must be durably idle: recovery retires active
+  // lanes, so a state!=0 lane here means recovery was skipped or lost.
+  for (unsigned l = 0; l < kLanes; ++l) {
+    const auto lh = ns_.load_pod<Tx::LaneHeader>(ctx, lane_off(l));
+    if (lh.state != 0)
+      return "lane " + std::to_string(l) + ": not idle after recovery";
+  }
+
+  // Free list: acyclic, aligned, inside the allocated heap, chunks
+  // non-overlapping. The step bound doubles as a cycle detector — the
+  // heap can hold at most heap_bytes/64 distinct chunks.
+  const std::uint64_t max_chunks = (h.heap_top - kHeapBase) / 64;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  std::uint64_t cur = h.free_head;
+  while (cur != 0) {
+    if (spans.size() > max_chunks) return "free list: cycle";
+    if (cur % 64 != 0)
+      return "free chunk @" + std::to_string(cur) + ": misaligned";
+    if (cur < kHeapBase || cur + sizeof(FreeChunk) > h.heap_top)
+      return "free chunk @" + std::to_string(cur) + ": outside heap";
+    const FreeChunk chunk = ns_.load_pod<FreeChunk>(ctx, cur);
+    if (chunk.size < 64 || chunk.size % 64 != 0 ||
+        cur + chunk.size > h.heap_top)
+      return "free chunk @" + std::to_string(cur) + ": bad size " +
+             std::to_string(chunk.size);
+    spans.emplace_back(cur, cur + chunk.size);
+    cur = chunk.next;
+  }
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].first < spans[i - 1].second)
+      return "free chunks @" + std::to_string(spans[i - 1].first) + " and @" +
+             std::to_string(spans[i].first) + ": overlap";
+  }
+  return "";
+}
+
 std::uint64_t Pool::root(ThreadCtx& ctx) { return read_header(ctx).root_off; }
 
 std::uint64_t Pool::root_size(ThreadCtx& ctx) {
@@ -72,6 +120,11 @@ std::uint64_t Pool::tx_alloc(Tx& tx, std::uint64_t size) {
   while (cur != 0) {
     const FreeChunk chunk = ns_.load_pod<FreeChunk>(ctx, cur);
     if (chunk.size >= size) {
+      // Snapshot the chunk's {next, size} header first: the caller will
+      // overwrite the allocation with raw (non-undo-logged) stores, and a
+      // rollback relinks this chunk into the free list — its header must
+      // be restored or the list is corrupted.
+      tx.add(cur, sizeof(FreeChunk));
       // Unlink. (Exact fit or carve the tail; keep the head as the
       // allocation so the remainder stays linked in place.)
       if (chunk.size >= size + 64) {
@@ -185,7 +238,18 @@ void Tx::commit() {
   // durable, then retiring the lane (state 0) makes the commit atomic.
   pool_.ns_.sfence(ctx_);
   hdr_ = LaneHeader{0, 0, 0};
-  store_persist_pod(ctx_, pool_.ns_, base_, hdr_);
+  if (pool_.test_fault_ == Pool::TestFault::kSkipCommitFlush) {
+    // Deliberate bug for negative crash tests: the lane-retire store is
+    // never flushed, so a crash can lose it and recovery rolls back an
+    // acknowledged transaction.
+    pool_.ns_.store(ctx_, base_,
+                    std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(&hdr_),
+                        sizeof(hdr_)));
+    pool_.ns_.sfence(ctx_);
+  } else {
+    store_persist_pod(ctx_, pool_.ns_, base_, hdr_);
+  }
   active_ = false;
 }
 

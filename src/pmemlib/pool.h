@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "pmemlib/pmem_ops.h"
 #include "xpsim/platform.h"
@@ -38,6 +39,25 @@ class Pool {
   // Returns false if the namespace does not hold a valid pool.
   bool open(ThreadCtx& ctx);
 
+  // Recovery invariants (crashmc checker entry point). Call after open():
+  // verifies the header, that every lane is durably idle, and that the
+  // allocator metadata is sane — heap_top within bounds and the free list
+  // acyclic, aligned, in-heap, and non-overlapping. Returns "" when all
+  // hold, else a diagnostic.
+  std::string check(ThreadCtx& ctx);
+
+  // Test-only fault injection for crashmc's negative tests: deliberately
+  // weakens the persistence protocol so the harness can demonstrate it
+  // catches real bugs. Never set outside tests.
+  enum class TestFault {
+    kNone,
+    // Tx::commit() retires the lane with a plain store (no clwb): the
+    // commit record can be lost on power failure, so recovery may roll
+    // back an acknowledged transaction.
+    kSkipCommitFlush,
+  };
+  void set_test_fault(TestFault f) { test_fault_ = f; }
+
   std::uint64_t root(ThreadCtx& ctx);
   std::uint64_t root_size(ThreadCtx& ctx);
 
@@ -56,6 +76,10 @@ class Pool {
   // Introspection for tests.
   std::uint64_t heap_top(ThreadCtx& ctx);
   std::uint64_t free_list_head(ThreadCtx& ctx);
+
+  // Heap bounds, for structural checkers validating that object offsets
+  // written by higher-level stores point into allocated pool memory.
+  static constexpr std::uint64_t heap_base() { return kHeapBase; }
 
  private:
   friend class Tx;
@@ -96,6 +120,7 @@ class Pool {
   void relink(Tx& tx, std::uint64_t prev, std::uint64_t next);
 
   hw::PmemNamespace& ns_;
+  TestFault test_fault_ = TestFault::kNone;
 };
 
 // Undo-log transaction. Usage:

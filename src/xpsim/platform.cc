@@ -81,8 +81,10 @@ void PmemNamespace::clflush(ThreadCtx& ctx, std::uint64_t off,
 }
 
 void PmemNamespace::sfence(ThreadCtx& ctx) {
+  if (platform_.frozen()) return;
   ctx.drain();
   ctx.advance_by(platform_.timing().fence_overhead);
+  platform_.note_persist_event();
 }
 
 void PmemNamespace::mfence(ThreadCtx& ctx) { sfence(ctx); }
@@ -237,6 +239,29 @@ std::size_t Platform::crash() {
   return lost_total;
 }
 
+void Platform::crash_after(std::uint64_t n) {
+  assert(n >= 1);
+  assert(!frozen_);
+  crash_at_ = persist_events_ + n;
+  crash_fired_ = false;
+}
+
+void Platform::clear_crash_trigger() {
+  crash_at_ = 0;
+  frozen_ = false;
+}
+
+void Platform::note_persist_event() {
+  ++persist_events_;
+  if (crash_at_ != 0 && persist_events_ >= crash_at_) {
+    crash_at_ = 0;
+    crash_fired_ = true;
+    crash();
+    frozen_ = true;
+    throw CrashPointHit{};
+  }
+}
+
 void Platform::reset_timing() {
   for (auto& socket : sockets_) {
     for (auto& dimm : socket.xp) dimm->reset_timing();
@@ -275,6 +300,7 @@ void Platform::coherence_flush(unsigned requesting_socket,
                         std::span<const std::uint8_t>(p, 64));
       }
       cache.mark_dirty(paddr_line, false);
+      note_persist_event();
     }
   }
 }
@@ -343,11 +369,19 @@ Time Platform::writeback_line(ThreadCtx& ctx, std::uint64_t paddr_line,
   if (home == nullptr) return t;
   const std::uint64_t off = paddr_line - home->base_;
   home->image_write(off, data);
-  return device_write64(ctx, *home, off, t);
+  const Time ack = device_write64(ctx, *home, off, t);
+  note_persist_event();
+  return ack;
 }
 
 void Platform::do_load(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
                        std::span<std::uint8_t> out) {
+  if (frozen_) {
+    // Post-crash: the machine is dead. Reads during unwinding (e.g. an
+    // aborting transaction's rollback scan) see zeros and touch nothing.
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    return;
+  }
   std::size_t out_pos = 0;
   for_each_line_segment(off, out.size(), [&](std::uint64_t line_off,
                                              std::uint64_t seg_off,
@@ -383,6 +417,7 @@ void Platform::do_load(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
 
 void Platform::do_store(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
                         std::span<const std::uint8_t> data) {
+  if (frozen_) return;
   std::size_t in_pos = 0;
   for_each_line_segment(off, data.size(), [&](std::uint64_t line_off,
                                               std::uint64_t seg_off,
@@ -423,6 +458,7 @@ void Platform::do_store(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
 void Platform::do_ntstore(ThreadCtx& ctx, PmemNamespace& ns,
                           std::uint64_t off,
                           std::span<const std::uint8_t> data) {
+  if (frozen_) return;
   std::size_t in_pos = 0;
   for_each_line_segment(off, data.size(), [&](std::uint64_t line_off,
                                               std::uint64_t seg_off,
@@ -443,12 +479,13 @@ void Platform::do_ntstore(ThreadCtx& ctx, PmemNamespace& ns,
         device_write64(ctx, ns, line_off, t0 + timing_.ntstore_wc_flush);
     ctx.complete_access(done);
     in_pos += n;
+    note_persist_event();
   });
 }
 
 void Platform::do_flush(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
                         std::size_t len, FlushKind kind) {
-  if (len == 0) return;
+  if (frozen_ || len == 0) return;
   const std::uint64_t first = off & ~std::uint64_t{63};
   const std::uint64_t last = (off + len - 1) & ~std::uint64_t{63};
   CacheModel& cache = *caches_[ctx.socket()];
@@ -458,6 +495,7 @@ void Platform::do_flush(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
     const Time t0 = ctx.begin_access(timing_.issue_gap);
     ++cc.explicit_flushes;
     Time done = t0 + sim::ns(2);
+    bool entered_wpq = false;
     if (cache.is_dirty(paddr_line)) {
       const std::uint8_t* p = cache.find(paddr_line);
       ns.image_write(line_off, std::span<const std::uint8_t>(p, 64));
@@ -468,10 +506,12 @@ void Platform::do_flush(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
         cache.mark_dirty(paddr_line, false);
         cache.erase(paddr_line);
       }
+      entered_wpq = true;
     } else if (kind != FlushKind::kClwb) {
       cache.erase(paddr_line);
     }
     ctx.complete_access(done);
+    if (entered_wpq) note_persist_event();
     if (kind == FlushKind::kClflush) ctx.drain();  // serialized legacy flush
   }
 }

@@ -63,6 +63,13 @@ struct NamespaceOptions {
 
 class Platform;
 
+// Thrown (by the data path) when a crash point armed with
+// Platform::crash_after() fires: the machine has already crashed — dirty
+// cache lines are gone — and the platform is frozen, so the workload must
+// unwind. Catch it at the harness level (crashmc::explore does); never
+// inside store code.
+struct CrashPointHit {};
+
 // A byte-addressable persistent (or pseudo-persistent) region, the unit of
 // App-Direct provisioning (an fsdax namespace in Linux terms).
 class PmemNamespace {
@@ -176,6 +183,30 @@ class Platform {
   // granularity; used by tests and shutdown paths).
   void writeback_all_caches();
 
+  // ---- Crash-point instrumentation (src/crashmc) -------------------------
+  // Every durability-relevant event is counted: a dirty line entering the
+  // WPQ (clwb/clflush/clflushopt of a dirty line, a natural eviction
+  // write-back, a coherence ownership flush), a non-temporal store
+  // draining to the iMC (per 64 B line), and an sfence retiring. The
+  // counter is timing-neutral, so instrumented runs stay byte-identical
+  // to uninstrumented ones.
+  std::uint64_t persist_events() const { return persist_events_; }
+
+  // Arm a crash trigger: when `n` more persist events have occurred
+  // (n >= 1, counted from now), the platform crashes exactly as crash()
+  // does, freezes — every subsequent timed data-path operation becomes a
+  // no-op, so RAII cleanup in the unwinding workload cannot touch the
+  // durable image — and throws CrashPointHit. Deterministic workloads
+  // therefore crash at exactly the same machine state for the same `n`.
+  void crash_after(std::uint64_t n);
+
+  // Disarm and unfreeze after a fired (or abandoned) trigger; the durable
+  // image is left exactly as the crash produced it, ready for recovery.
+  void clear_crash_trigger();
+
+  bool crash_fired() const { return crash_fired_; }
+  bool frozen() const { return frozen_; }
+
   // Start a new measurement epoch: forget every queue/bank/link
   // reservation so freshly spawned ThreadCtx clocks (which start at 0)
   // don't wait behind stale far-future reservations from a previous run.
@@ -238,6 +269,10 @@ class Platform {
   void do_flush(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
                 std::size_t len, FlushKind kind);
 
+  // Record one durability-relevant event; fires the armed crash trigger
+  // (crash + freeze + throw CrashPointHit) when the count is reached.
+  void note_persist_event();
+
   Timing timing_;
   std::vector<std::unique_ptr<CacheModel>> caches_;  // one per socket
   std::vector<CacheCounters> cache_counters_;
@@ -245,6 +280,11 @@ class Platform {
   std::unique_ptr<UpiLink> upi_;
   std::vector<std::unique_ptr<PmemNamespace>> namespaces_;
   std::uint64_t next_base_ = 0;
+
+  std::uint64_t persist_events_ = 0;
+  std::uint64_t crash_at_ = 0;  // 0 = disarmed
+  bool frozen_ = false;
+  bool crash_fired_ = false;
 };
 
 }  // namespace xp::hw

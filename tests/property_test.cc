@@ -108,6 +108,86 @@ TEST_P(PersistenceOracle, CrashStateMatchesReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PersistenceOracle,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+// ------------------------------------------- eviction-regime oracle -----
+// The exact-durability oracle above only holds while the working set fits
+// in the LLC. Here the region is 4x the (shrunken) LLC, so dirty lines
+// are written back by natural evictions the program never asked for. The
+// contract weakens to a superset rule: the durable image may be *ahead*
+// of the explicitly-flushed state (evictions persist data early) but
+// never behind it, and every line must hold a value the program actually
+// wrote — no tearing within a 64 B line, no made-up data.
+//
+// Each store overwrites a whole line with an encoded (line, version)
+// payload; `flushed_floor` records the version at the last explicit
+// persist. After the crash each durable line must decode to a version in
+// [flushed_floor, latest].
+class EvictionOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace {
+void encode_line(std::uint64_t line, std::uint32_t ver,
+                 std::uint8_t out[64]) {
+  const std::uint64_t tag = (line << 32) | ver;
+  std::memcpy(out, &tag, 8);
+  for (int i = 8; i < 64; ++i)
+    out[i] = static_cast<std::uint8_t>(line * 131 + ver * 31 + i * 7);
+}
+}  // namespace
+
+TEST_P(EvictionOracle, DurableSetIsSupersetOfFlushedSet) {
+  hw::Timing timing;
+  timing.llc_lines = 1024;  // 64 KB LLC so evictions happen fast
+  Platform platform(timing, /*seed=*/42);
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t({.id = 0, .socket = 0, .mlp = 8, .seed = 77});
+  sim::Rng rng(GetParam());
+
+  constexpr std::uint64_t kLines = 4096;  // 256 KB region = 4x the LLC
+  std::vector<std::uint32_t> latest(kLines, 0);
+  std::vector<std::uint32_t> flushed_floor(kLines, 0);
+
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t line = rng.uniform(kLines);
+    if (rng.uniform(8) == 0) {  // explicit clwb + fence: raise the floor
+      ns.persist(t, line * 64, 64);
+      flushed_floor[line] = latest[line];
+    } else {  // full-line store, volatile until flushed or evicted
+      std::uint8_t buf[64];
+      encode_line(line, ++latest[line], buf);
+      ns.store(t, line * 64, buf);
+    }
+  }
+  ASSERT_GT(platform.cache_counters(0).natural_evictions, 0u)
+      << "working set did not overflow the LLC; test is vacuous";
+
+  platform.crash();
+  std::vector<std::uint8_t> image(kLines * 64);
+  ns.peek(0, image);
+  for (std::uint64_t line = 0; line < kLines; ++line) {
+    const std::uint8_t* got = image.data() + line * 64;
+    std::uint64_t tag;
+    std::memcpy(&tag, got, 8);
+    if (tag == 0) {  // never persisted: only legal if nothing was flushed
+      ASSERT_EQ(flushed_floor[line], 0u)
+          << "line " << line << ": flushed data lost";
+      continue;
+    }
+    const std::uint64_t enc_line = tag >> 32;
+    const std::uint32_t ver = static_cast<std::uint32_t>(tag);
+    ASSERT_EQ(enc_line, line) << "line " << line << ": foreign payload";
+    ASSERT_GE(ver, flushed_floor[line])
+        << "line " << line << ": durable image behind the flushed floor";
+    ASSERT_LE(ver, latest[line])
+        << "line " << line << ": durable version never written";
+    std::uint8_t want[64];
+    encode_line(line, ver, want);
+    ASSERT_EQ(0, std::memcmp(got, want, 64))
+        << "line " << line << ": torn line at version " << ver;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvictionOracle,
+                         ::testing::Values(7, 11, 19));
+
 // ------------------------------------------------- multi-lane txs -------
 TEST(TxLanes, ConcurrentTransactionsRollBackIndependently) {
   Platform platform;
