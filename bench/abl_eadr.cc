@@ -15,10 +15,14 @@ namespace {
 
 using namespace xp;
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;
+
 lat::Result run_case(bool eadr, lat::Op op) {
   hw::Timing timing;
   timing.eadr = eadr;
   hw::Platform platform(timing);
+  const auto tel = g_trace.session(platform, g_point++);
   hw::NamespaceOptions o;
   o.device = hw::Device::kXp;
   o.size = 8ull << 30;
@@ -40,7 +44,8 @@ lat::Result run_case(bool eadr, lat::Op op) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Ablation",
                     "eADR: persistence without flushes (256 B records, "
                     "6 threads, fence per record)");

@@ -14,6 +14,9 @@ namespace {
 
 using namespace xp;
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;
+
 double point(bool memory_mode, lat::Op op, std::uint64_t region) {
   hw::Timing timing;
   // Scale near memory down 64x (32 GB -> 512 MB) so the direct-mapped tag
@@ -21,6 +24,7 @@ double point(bool memory_mode, lat::Op op, std::uint64_t region) {
   // scaled accordingly.
   timing.memory_mode_near_bytes = 512ull << 20;
   hw::Platform platform(timing);
+  const auto tel = g_trace.session(platform, g_point++);
   hw::NamespaceOptions o;
   o.device = hw::Device::kXp;
   o.memory_mode = memory_mode;
@@ -42,7 +46,8 @@ double point(bool memory_mode, lat::Op op, std::uint64_t region) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Ablation",
                     "Memory Mode vs App Direct, random 64 B, 8 threads");
   benchutil::row("%10s %18s %18s %18s %18s", "workset", "AppDirect rd",

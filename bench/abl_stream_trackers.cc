@@ -13,10 +13,14 @@ namespace {
 
 using namespace xp;
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;
+
 double point(unsigned streams, unsigned threads) {
   hw::Timing timing;
   timing.xp_write_streams = streams;
   hw::Platform platform(timing);
+  const auto tel = g_trace.session(platform, g_point++);
   hw::NamespaceOptions o;
   o.device = hw::Device::kXp;
   o.interleaved = false;
@@ -34,7 +38,8 @@ double point(unsigned streams, unsigned threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Ablation",
                     "Write-stream trackers vs thread scaling (Optane-NI)");
   benchutil::row("%10s %8s %8s %8s %8s %8s", "trackers", "1 thr", "2 thr",

@@ -13,8 +13,12 @@ namespace {
 
 using namespace xp;
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;
+
 double ni_1thread(const hw::Timing& timing) {
   hw::Platform platform(timing);
+  const auto tel = g_trace.session(platform, g_point++);
   hw::NamespaceOptions o;
   o.device = hw::Device::kXp;
   o.interleaved = false;
@@ -32,6 +36,7 @@ double ni_1thread(const hw::Timing& timing) {
 
 double spread(const hw::Timing& timing, unsigned dimms_per_thread) {
   hw::Platform platform(timing);
+  const auto tel = g_trace.session(platform, g_point++);
   hw::NamespaceOptions o;
   o.device = hw::Device::kXp;
   o.size = 8ull << 30;
@@ -50,7 +55,8 @@ double spread(const hw::Timing& timing, unsigned dimms_per_thread) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Ablation", "Per-thread WPQ credit sensitivity");
   benchutil::row("%8s %14s %14s %14s %12s", "credit", "NI 1-thr GB/s",
                  "6thr pinned", "6thr spread-6", "spread loss");

@@ -15,7 +15,9 @@ using namespace xp;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto trace = benchutil::TraceOpts::from_args(argc, argv);
+  std::size_t point = 0;
   benchutil::banner("Ablation", "XPBuffer capacity sensitivity");
   benchutil::row("%10s %14s %14s %12s %12s", "buffer", "WA@16K-probe",
                  "WA@64K-probe", "rand64B EWR", "rand64B GB/s");
@@ -24,11 +26,13 @@ int main() {
     timing.xpbuffer_lines = lines;
 
     hw::Platform p1(timing);
+    const auto tel1 = trace.session(p1, point++);
     auto& probe_ns = p1.optane_ni(64 << 20);
     const double wa16 = lat::xpbuffer_write_amp_probe(p1, probe_ns, 16384);
     const double wa64 = lat::xpbuffer_write_amp_probe(p1, probe_ns, 65536);
 
     hw::Platform p2(timing);
+    const auto tel2 = trace.session(p2, point++);
     hw::NamespaceOptions o;
     o.device = hw::Device::kXp;
     o.interleaved = false;

@@ -28,6 +28,7 @@
 #include "bench/bench_util.h"
 #include "lattester/runner.h"
 #include "sweep/sweep.h"
+#include "telemetry/session.h"
 #include "xpsim/platform.h"
 
 namespace {
@@ -51,8 +52,11 @@ struct Cfg {
   sim::Time duration = sim::ms(1);
 };
 
-lat::Result run_cfg(const Cfg& c) {
+lat::Result run_cfg_impl(const Cfg& c, bool telemetry,
+                         std::string* summary) {
   hw::Platform platform;
+  std::unique_ptr<telemetry::Session> tel;
+  if (telemetry) tel = std::make_unique<telemetry::Session>(platform);
   hw::NamespaceOptions o;
   o.device = c.device;
   o.interleaved = c.interleaved;
@@ -68,8 +72,15 @@ lat::Result run_cfg(const Cfg& c) {
   spec.dimms_per_thread = c.dimms_per_thread;
   spec.region_size = o.size;
   spec.duration = c.duration;
-  return lat::run(platform, ns, spec);
+  const lat::Result r = lat::run(platform, ns, spec);
+  if (tel != nullptr && summary != nullptr) {
+    tel->finish();
+    *summary = tel->summary_json();
+  }
+  return r;
 }
+
+lat::Result run_cfg(const Cfg& c) { return run_cfg_impl(c, false, nullptr); }
 
 bool results_equal(const std::vector<lat::Result>& a,
                    const std::vector<lat::Result>& b) {
@@ -112,17 +123,24 @@ SweepEntry measure_sweep(const char* name, const sweep::Grid<Cfg>& grid,
 
 struct HotPathEntry {
   std::string name;
-  double wall_s;
+  double wall_s;            // telemetry disabled: the canary number
+  double telemetry_wall_s;  // same config with a Session attached
   double sim_gbps;
+  bool neutral;  // telemetry run produced identical simulated results
 };
 
 HotPathEntry measure_hot_path(const char* name, const Cfg& c) {
-  const Clock::time_point t0 = Clock::now();
+  Clock::time_point t0 = Clock::now();
   const lat::Result r = run_cfg(c);
   const double wall_s = seconds_since(t0);
-  benchutil::row("%-24s %.2fs wall  (%.1f simulated GB/s)", name, wall_s,
-                 r.bandwidth_gbps);
-  return {name, wall_s, r.bandwidth_gbps};
+  t0 = Clock::now();
+  const lat::Result rt = run_cfg_impl(c, true, nullptr);
+  const double tel_s = seconds_since(t0);
+  const bool neutral = results_equal({r}, {rt});
+  benchutil::row("%-24s %.2fs wall  +tel %.2fs  (%.1f simulated GB/s)%s",
+                 name, wall_s, tel_s, r.bandwidth_gbps,
+                 neutral ? "" : "  TIMING NOT NEUTRAL");
+  return {name, wall_s, tel_s, r.bandwidth_gbps, neutral};
 }
 
 }  // namespace
@@ -220,11 +238,21 @@ int main(int argc, char** argv) {
     const HotPathEntry& h = hot[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"wall_s\": %.3f, "
-                 "\"sim_gbps\": %.2f}%s\n",
-                 h.name.c_str(), h.wall_s, h.sim_gbps,
+                 "\"telemetry_wall_s\": %.3f, \"sim_gbps\": %.2f, "
+                 "\"telemetry_neutral\": %s}%s\n",
+                 h.name.c_str(), h.wall_s, h.telemetry_wall_s, h.sim_gbps,
+                 h.neutral ? "true" : "false",
                  i + 1 < hot.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "  ],\n");
+
+  // One instrumented reference run whose summary rides along in the
+  // perf log: proof the sampler/registry produce sane numbers on the
+  // same workload the canaries time.
+  std::string summary;
+  run_cfg_impl({.op = lat::Op::kNtStore, .duration = sim::ms(1)}, true,
+               &summary);
+  std::fprintf(f, "  \"telemetry_summary\": %s\n", summary.c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
   benchutil::row("");
@@ -232,5 +260,7 @@ int main(int argc, char** argv) {
 
   for (const SweepEntry& s : sweeps)
     if (!s.identical) return 1;  // determinism is part of the contract
+  for (const HotPathEntry& h : hot)
+    if (!h.neutral) return 1;  // telemetry must not perturb simulation
   return 0;
 }

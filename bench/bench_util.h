@@ -7,10 +7,47 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "telemetry/session.h"
+#include "xpsim/platform.h"
+
 namespace xp::benchutil {
+
+// `--trace <file>` / XP_TRACE plumbing shared by every bench. When
+// enabled, each sweep point writes its own Chrome-trace file derived
+// from the base path by point index (grid order), so the produced file
+// set is identical at any --jobs count. Sessions are timing-neutral:
+// traced tables are byte-identical to untraced ones.
+struct TraceOpts {
+  std::string base;  // empty = tracing disabled
+
+  static TraceOpts from_args(int argc, char** argv) {
+    return TraceOpts{telemetry::trace_path_from_args(argc, argv)};
+  }
+  bool enabled() const { return !base.empty(); }
+
+  // Per-sweep-point session; null when tracing is disabled. Keep the
+  // returned handle alive for the duration of the point: its destructor
+  // detaches from the platform and writes the trace file.
+  std::unique_ptr<telemetry::Session> session(hw::Platform& platform,
+                                              std::size_t point) const {
+    if (base.empty()) return nullptr;
+    telemetry::Options o;
+    o.trace_path = telemetry::trace_point_path(base, point);
+    return std::make_unique<telemetry::Session>(platform, std::move(o));
+  }
+
+  // Whole-bench session for single-platform benches.
+  std::unique_ptr<telemetry::Session> session(hw::Platform& platform) const {
+    if (base.empty()) return nullptr;
+    telemetry::Options o;
+    o.trace_path = base;
+    return std::make_unique<telemetry::Session>(platform, std::move(o));
+  }
+};
 
 inline void banner(const char* fig, const char* title) {
   std::printf("\n================================================================\n");

@@ -6,7 +6,7 @@
 // store and evaluates its recovery invariants. Reports points-explored
 // per second; exits non-zero if any invariant is violated.
 //
-// Usage: crashmc_sweep [--points N] [--seed S] [--store NAME]
+// Usage: crashmc_sweep [--points N] [--seed S] [--store NAME] [--trace F]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,8 +14,40 @@
 
 #include "src/crashmc/explorer.h"
 #include "src/crashmc/workloads.h"
+#include "telemetry/session.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+// Records every fired crash point as a Chrome-trace instant, one trace
+// "process" per store. Attached to each platform the explorer builds.
+class CrashTraceSink : public xp::hw::TelemetrySink {
+ public:
+  explicit CrashTraceSink(xp::telemetry::TraceWriter* writer)
+      : writer_(writer) {}
+
+  void begin_store(const std::string& name) {
+    pid_ = next_pid_++;
+    writer_->name_process(pid_, name);
+  }
+
+  void crash_fired(xp::sim::Time t, std::uint64_t seq) override {
+    char args[64];
+    std::snprintf(args, sizeof(args), "{\"seq\":%llu}",
+                  static_cast<unsigned long long>(seq));
+    writer_->instant("crash_point", "crashmc", t, pid_, 0, args);
+  }
+
+ private:
+  xp::telemetry::TraceWriter* writer_;
+  unsigned pid_ = 0;
+  unsigned next_pid_ = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  const std::string trace_path = xp::telemetry::trace_path_from_args(argc, argv);
   std::uint64_t points = 200;
   std::uint64_t seed = 1;
   std::string only;
@@ -26,18 +58,27 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
       only = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      ++i;  // value already consumed by trace_path_from_args
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      // parsed by trace_path_from_args
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--points N] [--seed S] [--store NAME]\n",
+                   "usage: %s [--points N] [--seed S] [--store NAME] "
+                   "[--trace FILE]\n",
                    argv[0]);
       return 2;
     }
   }
 
+  xp::telemetry::TraceWriter writer;
+  CrashTraceSink sink(&writer);
+
   xp::crashmc::Options opts;
   opts.max_exhaustive = points;
   opts.samples = points;
   opts.seed = seed;
+  if (!trace_path.empty()) opts.sink = &sink;
 
   std::printf("# crashmc_sweep: <= %llu crash points per store, seed %llu\n",
               static_cast<unsigned long long>(points),
@@ -49,6 +90,7 @@ int main(int argc, char** argv) {
   std::uint64_t total_points = 0;
   for (auto& target : xp::crashmc::all_targets()) {
     if (!only.empty() && target->name() != only) continue;
+    if (opts.sink) sink.begin_store(target->name());
     const xp::crashmc::Result r = xp::crashmc::explore(*target, opts);
     std::printf("%-14s %10llu %10llu %10llu %11zu %12.1f\n",
                 target->name().c_str(),
@@ -67,5 +109,14 @@ int main(int argc, char** argv) {
   }
   std::printf("# total crash points explored: %llu\n",
               static_cast<unsigned long long>(total_points));
+  if (!trace_path.empty()) {
+    if (!writer.write_file(trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    std::printf("# trace: %s (%zu events)\n", trace_path.c_str(),
+                writer.events());
+  }
   return failed ? 1 : 0;
 }

@@ -17,8 +17,11 @@ namespace {
 
 using namespace xp;
 
-lat::IdleLatency point(const hw::Device& device) {
+benchutil::TraceOpts g_trace;
+
+lat::IdleLatency point(const hw::Device& device, std::size_t idx) {
   hw::Platform platform;
+  const auto tel = g_trace.session(platform, idx);
   auto& ns = device == hw::Device::kDram ? platform.dram(512 << 20)
                                          : platform.optane(512 << 20);
   return lat::idle_latency(platform, ns);
@@ -28,6 +31,7 @@ lat::IdleLatency point(const hw::Device& device) {
 
 int main(int argc, char** argv) {
   sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
 
   sweep::Grid<hw::Device> grid;
   grid.add(hw::Device::kDram);

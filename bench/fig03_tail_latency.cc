@@ -9,8 +9,10 @@
 #include "lattester/runner.h"
 #include "xpsim/platform.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xp;
+  const auto trace = benchutil::TraceOpts::from_args(argc, argv);
+  std::size_t point = 0;
   benchutil::banner("Figure 3",
                     "Write tail latency vs hotspot size (one thread)");
   benchutil::row("%-10s %12s %12s %12s %12s", "hotspot", "p50(us)",
@@ -25,6 +27,7 @@ int main() {
     // trend is preserved, compressed to smaller hotspot sizes.
     timing.wear_threshold = 256;
     hw::Platform platform(timing);
+    const auto tel = trace.session(platform, point++);
     hw::NamespaceOptions o;
     o.device = hw::Device::kXp;
     o.size = std::max<std::uint64_t>(hotspot, 1 << 20);
@@ -51,6 +54,7 @@ int main() {
   // DRAM baseline: no outliers at any hotspot size.
   {
     hw::Platform platform;
+    const auto tel = trace.session(platform, point++);
     hw::NamespaceOptions o;
     o.device = hw::Device::kDram;
     o.size = 1 << 20;

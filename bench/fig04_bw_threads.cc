@@ -23,8 +23,11 @@ struct Cfg {
   unsigned threads;
 };
 
-double point(const Cfg& c) {
+benchutil::TraceOpts g_trace;
+
+double point(const Cfg& c, std::size_t idx) {
   hw::Platform platform;
+  const auto tel = g_trace.session(platform, idx);
   hw::NamespaceOptions o;
   o.device = c.device;
   o.interleaved = c.interleaved;
@@ -61,6 +64,7 @@ constexpr lat::Op kOps[] = {lat::Op::kLoad, lat::Op::kNtStore,
 
 int main(int argc, char** argv) {
   sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
 
   sweep::Grid<Cfg> grid;
   for (const Panel& p : kPanels)

@@ -26,8 +26,11 @@ struct Cfg {
   std::size_t access;
 };
 
-double point(const Cfg& c) {
+benchutil::TraceOpts g_trace;
+
+double point(const Cfg& c, std::size_t idx) {
   hw::Platform platform;
+  const auto tel = g_trace.session(platform, idx);
   hw::NamespaceOptions o;
   o.device = c.device;
   o.interleaved = c.interleaved;
@@ -65,6 +68,7 @@ constexpr std::size_t kSizes[] = {64u,    256u,    1024u,   4096u,
 
 int main(int argc, char** argv) {
   sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
 
   sweep::Grid<Cfg> grid;
   for (const Panel& p : kPanels)

@@ -32,8 +32,11 @@ struct Cfg {
   double delay_ns;
 };
 
-Point measure(const Cfg& c) {
+benchutil::TraceOpts g_trace;
+
+Point measure(const Cfg& c, std::size_t idx) {
   hw::Platform platform;
+  const auto tel = g_trace.session(platform, idx);
   hw::NamespaceOptions o;
   o.device = c.device;
   o.size = 8ull << 30;
@@ -116,6 +119,7 @@ constexpr double kDelays[] = {0.0,    50.0,    150.0,   400.0,
 
 int main(int argc, char** argv) {
   sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
 
   sweep::Grid<Cfg> grid;
   for (const Curve& c : kCurves)

@@ -39,9 +39,13 @@ hw::PmemNamespace& make_ns(hw::Platform& platform, const Config& c) {
   return platform.add_namespace(o);
 }
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Figure 7", "Emulation mechanisms vs real Optane");
 
   benchutil::row("Idle latency (ns) and peak sequential-write bandwidth");
@@ -50,6 +54,7 @@ int main() {
   for (const Config& c : configs()) {
     // Idle read latency (dependent loads).
     hw::Platform p1;
+    const auto tel1 = g_trace.session(p1, g_point++);
     auto& ns1 = make_ns(p1, c);
     lat::WorkloadSpec rd;
     rd.op = lat::Op::kLoad;
@@ -65,6 +70,7 @@ int main() {
 
     // Idle write latency.
     hw::Platform p2;
+    const auto tel2 = g_trace.session(p2, g_point++);
     auto& ns2 = make_ns(p2, c);
     lat::WorkloadSpec wr = rd;
     wr.op = lat::Op::kNtStore;
@@ -73,6 +79,7 @@ int main() {
 
     // Peak sequential ntstore bandwidth (8 threads, pipelined).
     hw::Platform p3;
+    const auto tel3 = g_trace.session(p3, g_point++);
     auto& ns3 = make_ns(p3, c);
     lat::WorkloadSpec bw;
     bw.op = lat::Op::kNtStore;
@@ -96,6 +103,7 @@ int main() {
     int i = 0;
     for (double read_fraction : {0.0, 0.5, 1.0}) {
       hw::Platform platform;
+      const auto tel = g_trace.session(platform, g_point++);
       auto& ns = make_ns(platform, c);
       lat::WorkloadSpec spec;
       spec.op = lat::Op::kMixed;

@@ -23,8 +23,12 @@ std::string key_of(int i) {
   return buf;
 }
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;
+
 double set_kops(hw::Device device, kv::WalMode wal, kv::MemtableMode mem) {
   hw::Platform platform;
+  const auto tel = g_trace.session(platform, g_point++);
   hw::PmemNamespace& ns = device == hw::Device::kXp
                               ? platform.optane(2048ull << 20)
                               : platform.dram(2048ull << 20);
@@ -48,7 +52,8 @@ double set_kops(hw::Device device, kv::WalMode wal, kv::MemtableMode mem) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Figure 8",
                     "RocksDB SET throughput (KOps/s), sync per op");
   benchutil::row("%-24s %12s %12s", "strategy", "DRAM", "Optane");

@@ -19,12 +19,16 @@ struct PointR {
   double bw;
 };
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;  // serial sweep; stable grid-order numbering
+
 std::vector<PointR> sweep(lat::Op op) {
   std::vector<PointR> points;
   for (std::size_t access : {64u, 128u, 256u, 1024u, 4096u}) {
     for (unsigned threads : {1u, 2u, 4u, 8u}) {
       for (lat::Pattern pattern : {lat::Pattern::kSeq, lat::Pattern::kRand}) {
         hw::Platform platform;
+        const auto tel = g_trace.session(platform, g_point++);
         hw::NamespaceOptions o;
         o.device = hw::Device::kXp;
         o.interleaved = false;
@@ -83,9 +87,38 @@ void panel(const char* name, lat::Op op) {
     benchutil::row("    ewr=%.2f  bw=%.2f", p.ewr, p.bw);
 }
 
+// One representative workload re-run under a telemetry Session so the
+// bench output carries a machine-readable summary (counter totals plus
+// the per-DIMM EWR / bandwidth / queue-depth timeline).
+void telemetry_summary() {
+  using namespace xp;
+  hw::Platform platform;
+  telemetry::Options topts;
+  topts.trace_path = g_trace.enabled()
+                         ? telemetry::trace_point_path(g_trace.base, g_point)
+                         : std::string{};
+  telemetry::Session session(platform, std::move(topts));
+  hw::NamespaceOptions o;
+  o.device = hw::Device::kXp;
+  o.interleaved = false;
+  o.size = 2ull << 30;
+  o.discard_data = true;
+  auto& ns = platform.add_namespace(o);
+  lat::WorkloadSpec spec;
+  spec.op = lat::Op::kNtStore;
+  spec.pattern = lat::Pattern::kSeq;
+  spec.access_size = 256;
+  spec.threads = 4;
+  spec.region_size = o.size;
+  spec.duration = sim::ms(1);
+  lat::run(platform, ns, spec);
+  std::printf("\n  telemetry_summary %s\n", session.summary_json().c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Figure 9",
                     "EWR vs bandwidth on a single DIMM (scatter + fit)");
   panel("NT store", lat::Op::kNtStore);
@@ -94,5 +127,6 @@ int main() {
   benchutil::note("paper: strong positive correlation for every store "
                   "kind (r^2 = 0.97/0.60/0.74); EWR is the lever for "
                   "write bandwidth");
+  telemetry_summary();
   return 0;
 }

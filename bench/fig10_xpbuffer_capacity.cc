@@ -9,8 +9,10 @@
 #include "lattester/kernels.h"
 #include "xpsim/platform.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace xp;
+  const auto trace = benchutil::TraceOpts::from_args(argc, argv);
+  std::size_t point = 0;
   benchutil::banner("Figure 10",
                     "Write amplification vs region size (XPBuffer probe)");
   benchutil::row("%10s %20s", "region", "write amplification");
@@ -18,6 +20,7 @@ int main() {
                                16384ull, 32768ull, 131072ull, 262144ull,
                                2097152ull}) {
     hw::Platform platform;
+    const auto tel = trace.session(platform, point++);
     auto& ns = platform.optane_ni(64 << 20);
     const double wa = lat::xpbuffer_write_amp_probe(platform, ns, region);
     benchutil::row("%10s %20.2f", benchutil::human_size(region).c_str(), wa);

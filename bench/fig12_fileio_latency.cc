@@ -28,8 +28,12 @@ struct Latencies {
   double ow64_us, ow256_us, rd4k_us;
 };
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;
+
 Latencies measure(const Case& c) {
   hw::Platform platform;
+  const auto tel = g_trace.session(platform, g_point++);
   sim::ThreadCtx t({.id = 0, .socket = 0, .mlp = 16, .seed = 1});
   std::unique_ptr<nova::FileSystem> fs(c.make(platform, t));
   const int f = fs->create(t, "bench");
@@ -71,7 +75,8 @@ Latencies measure(const Case& c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Figure 12", "File IO latency (us), single thread");
 
   std::vector<Case> cases;

@@ -12,8 +12,12 @@ namespace {
 
 using namespace xp;
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;
+
 double txn_latency_us(pmem::WriteBack mode, std::size_t size) {
   hw::Platform platform;
+  const auto tel = g_trace.session(platform, g_point++);
   auto& ns = platform.optane(512 << 20);
   sim::ThreadCtx setup({.id = 9, .socket = 0, .mlp = 16, .seed = 1});
   pmem::Pool pool(ns);
@@ -39,7 +43,8 @@ double txn_latency_us(pmem::WriteBack mode, std::size_t size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Figure 15",
                     "Micro-buffering no-op transaction latency (us)");
   benchutil::row("%8s %10s %10s %12s", "object", "PGL-NT", "PGL-CLWB",

@@ -24,8 +24,11 @@ struct Cfg {
   std::size_t access;
 };
 
-double point(const Cfg& c) {
+benchutil::TraceOpts g_trace;
+
+double point(const Cfg& c, std::size_t idx) {
   hw::Platform platform;
+  const auto tel = g_trace.session(platform, idx);
   hw::NamespaceOptions o;
   o.device = hw::Device::kXp;
   o.size = 8ull << 30;
@@ -59,6 +62,7 @@ constexpr unsigned kDimms[] = {1, 2, 3, 6};
 
 int main(int argc, char** argv) {
   sweep::Pool pool(sweep::jobs_from_args(argc, argv));
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
 
   sweep::Grid<Cfg> grid;
   for (const Panel& p : kPanels)

@@ -13,8 +13,12 @@ namespace {
 
 using namespace xp;
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;
+
 double point(nova::AllocPolicy policy, fio::Rw rw, bool sync_engine) {
   hw::Platform platform;
+  const auto tel = g_trace.session(platform, g_point++);
   auto& ns = platform.optane(6ull << 30);
   nova::NovaOptions o;
   o.alloc = policy;
@@ -34,7 +38,8 @@ double point(nova::AllocPolicy policy, fio::Rw rw, bool sync_engine) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Figure 17",
                     "Multi-DIMM NOVA, FIO 24 jobs, 4 KB blocks (GB/s)");
   benchutil::row("%-14s %10s %10s %10s %10s", "op", "I,sync", "NI,sync",

@@ -13,8 +13,12 @@ namespace {
 
 using namespace xp;
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;
+
 double point(unsigned socket, unsigned threads, double read_fraction) {
   hw::Platform platform;
+  const auto tel = g_trace.session(platform, g_point++);
   hw::NamespaceOptions o;
   o.device = hw::Device::kXp;
   o.socket = 0;
@@ -38,7 +42,8 @@ double point(unsigned socket, unsigned threads, double read_fraction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Figure 18",
                     "Optane bandwidth (GB/s) vs R:W mix, local vs remote");
   benchutil::row("%-10s %10s %16s %10s %16s", "mix", "Optane-1",

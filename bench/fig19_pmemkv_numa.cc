@@ -17,9 +17,13 @@ namespace {
 
 using namespace xp;
 
+benchutil::TraceOpts g_trace;
+std::size_t g_point = 0;
+
 double overwrite_bw(hw::Device device, unsigned server_socket,
                     unsigned threads) {
   hw::Platform platform;
+  const auto tel = g_trace.session(platform, g_point++);
   hw::PmemNamespace& ns = device == hw::Device::kXp
                               ? platform.optane(1024ull << 20, 0)
                               : platform.dram(1024ull << 20, 0);
@@ -58,7 +62,8 @@ double overwrite_bw(hw::Device device, unsigned server_socket,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = benchutil::TraceOpts::from_args(argc, argv);
   benchutil::banner("Figure 19",
                     "PMemKV cmap overwrite bandwidth (GB/s) vs threads");
   benchutil::row("%8s %10s %14s %10s %14s", "threads", "DRAM",

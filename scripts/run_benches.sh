@@ -42,4 +42,23 @@ for bench in fig02_idle_latency fig13_persist_instructions \
   fi
   rm -f "$a" "$b"
 done
+
+# Golden-trace guard: the per-point Chrome-trace files a traced sweep
+# writes must be byte-identical at --jobs 1 and --jobs N (point indices
+# name the files, so the file set is job-count-invariant too).
+echo
+echo "== golden traces: fig13 --trace, --jobs 1 vs --jobs $JOBS =="
+t1=$(mktemp -d) tn=$(mktemp -d)
+"$BUILD/bench/fig13_persist_instructions" --jobs 1 \
+    --trace "$t1/trace.json" > /dev/null
+"$BUILD/bench/fig13_persist_instructions" --jobs "$JOBS" \
+    --trace "$tn/trace.json" > /dev/null
+if diff -rq "$t1" "$tn" > /dev/null; then
+  echo "  traces: identical ($(ls "$t1" | wc -l) files)"
+else
+  echo "  traces: MISMATCH"
+  diff -rq "$t1" "$tn" | head -10
+  status=1
+fi
+rm -rf "$t1" "$tn"
 exit $status

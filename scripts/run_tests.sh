@@ -4,15 +4,44 @@
 # (~200 points per store) as a smoke check that every persistent store's
 # recovery invariants hold. Intended for CI and for pre-commit runs.
 #
-# Usage: scripts/run_tests.sh [jobs]
-#   jobs  defaults to the machine's core count (or XP_JOBS if set).
+# Usage: scripts/run_tests.sh [--tier1] [jobs]
+#   --tier1  run only the fast always-on gate (`ctest -L tier1`, Release
+#            build only) — the quick pre-push loop; the full run remains
+#            the merge gate.
+#   jobs     defaults to the machine's core count (or XP_JOBS if set).
+#
+# When ccache is installed it fronts the compiler automatically, so
+# repeated CI runs rebuild only what changed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+TIER1=0
+if [[ "${1:-}" == "--tier1" ]]; then
+  TIER1=1
+  shift
+fi
 JOBS="${1:-${XP_JOBS:-$(nproc)}}"
+
+LAUNCHER_ARGS=()
+if command -v ccache > /dev/null; then
+  LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+if [[ "$TIER1" == "1" ]]; then
+  echo "== tier1 gate (Release, ctest -L tier1) =="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+      "${LAUNCHER_ARGS[@]}" > /dev/null
+  cmake --build build-release -j "$JOBS" > /dev/null
+  (cd build-release && ctest -L tier1 --output-on-failure -j "$JOBS")
+  echo
+  echo "tier1 gate passed."
+  exit 0
+fi
 
 echo "== Debug + ASan/UBSan =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    "${LAUNCHER_ARGS[@]}" \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" > /dev/null
 cmake --build build-asan -j "$JOBS" > /dev/null
@@ -20,7 +49,8 @@ cmake --build build-asan -j "$JOBS" > /dev/null
 
 echo
 echo "== Release =="
-cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+    "${LAUNCHER_ARGS[@]}" > /dev/null
 cmake --build build-release -j "$JOBS" > /dev/null
 (cd build-release && ctest --output-on-failure -j "$JOBS")
 

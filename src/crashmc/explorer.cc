@@ -41,6 +41,7 @@ Result explore(Target& target, const Options& opts) {
   // pass recovery (re-opening a cleanly written store is a recovery too).
   {
     hw::Platform& platform = target.reset();
+    if (opts.sink) platform.attach_telemetry(opts.sink);
     const std::uint64_t before = platform.persist_events();
     target.run();
     r.total_events = platform.persist_events() - before;
@@ -53,6 +54,7 @@ Result explore(Target& target, const Options& opts) {
   if (opts.keep_going || r.violations.empty()) {
     for (const std::uint64_t k : choose_points(r.total_events, opts)) {
       hw::Platform& platform = target.reset();
+      if (opts.sink) platform.attach_telemetry(opts.sink);
       platform.crash_after(k);
       try {
         target.run();

@@ -32,6 +32,11 @@ struct Options {
   // Keep exploring after a violation (collect all of them) or stop at the
   // first one.
   bool keep_going = true;
+  // Optional telemetry sink attached to every platform the explorer
+  // builds (each reset() makes a fresh one). Must outlive explore();
+  // sinks are timing-neutral, so attaching one cannot change which
+  // machine state a crash point hits.
+  hw::TelemetrySink* sink = nullptr;
 };
 
 struct Violation {

@@ -244,6 +244,11 @@ Result run(hw::Platform& platform, hw::PmemNamespace& ns,
   }
   sched.run();
 
+  // Close the telemetry interval at the measurement-window boundary so
+  // timeline samplers always get a final sample (no-op when no sink).
+  if (hw::TelemetrySink* sink = platform.telemetry())
+    sink->run_complete("lattester", window_start, window_end);
+
   Result r;
   r.window = spec.duration;
   for (unsigned i = 0; i < spec.threads; ++i) {

@@ -104,17 +104,27 @@ class Grid {
   std::vector<Config> points_;
 };
 
-// Evaluate fn(config) for every grid point through the pool; returns
+// Evaluate fn(config) — or fn(config, point_index) if fn accepts the
+// extra argument — for every grid point through the pool; returns
 // results in grid order. fn must be callable concurrently from several
-// host threads (each invocation should build its own Platform).
+// host threads (each invocation should build its own Platform). The
+// index form lets benches derive stable per-point artifacts (e.g.
+// telemetry trace file names) that are independent of the job count.
 template <typename Config, typename Fn>
-auto run_points(Pool& pool, const Grid<Config>& grid, Fn&& fn)
-    -> std::vector<std::invoke_result_t<Fn&, const Config&>> {
-  using R = std::invoke_result_t<Fn&, const Config&>;
-  std::vector<R> out(grid.size());
-  pool.for_each_index(grid.size(),
-                      [&](std::size_t i) { out[i] = fn(grid[i]); });
-  return out;
+auto run_points(Pool& pool, const Grid<Config>& grid, Fn&& fn) {
+  if constexpr (std::is_invocable_v<Fn&, const Config&, std::size_t>) {
+    using R = std::invoke_result_t<Fn&, const Config&, std::size_t>;
+    std::vector<R> out(grid.size());
+    pool.for_each_index(grid.size(),
+                        [&](std::size_t i) { out[i] = fn(grid[i], i); });
+    return out;
+  } else {
+    using R = std::invoke_result_t<Fn&, const Config&>;
+    std::vector<R> out(grid.size());
+    pool.for_each_index(grid.size(),
+                        [&](std::size_t i) { out[i] = fn(grid[i]); });
+    return out;
+  }
 }
 
 }  // namespace xp::sweep

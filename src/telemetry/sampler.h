@@ -1,0 +1,80 @@
+// Periodic timeline sampler driven by *simulated* time.
+//
+// The owning Session forwards every data-path tick; once the configured
+// interval has elapsed the sampler records one Sample — cumulative per-
+// DIMM byte counters plus queue/buffer gauges — into a fixed-capacity
+// ring. When the ring fills it decimates (keeps every 2nd sample) and
+// doubles the interval, so an arbitrarily long run costs a bounded amount
+// of memory while the timeline keeps covering the whole run at uniformly
+// coarser resolution.
+//
+// Samples store cumulative counts; consumers difference consecutive
+// samples to get interval EWR and bandwidth (see Session::summary_json).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/simtime.h"
+
+namespace xp::hw {
+class Platform;
+}
+
+namespace xp::telemetry {
+
+class Sampler {
+ public:
+  struct Options {
+    sim::Time interval = sim::us(10);
+    std::size_t capacity = 1024;  // >= 4; decimation halves occupancy
+  };
+
+  // One DIMM at one instant (cumulative counters, instantaneous gauges).
+  struct DimmSample {
+    std::uint64_t imc_read_bytes = 0;
+    std::uint64_t imc_write_bytes = 0;
+    std::uint64_t media_read_bytes = 0;
+    std::uint64_t media_write_bytes = 0;
+    std::uint32_t wpq_occupancy = 0;
+    std::uint32_t rpq_occupancy = 0;
+    std::uint32_t buffer_dirty_lines = 0;
+  };
+
+  struct Sample {
+    sim::Time t = 0;
+    std::vector<DimmSample> dimms;  // flattened socket * channels + channel
+  };
+
+  Sampler(const hw::Platform& platform, Options opts);
+
+  // Hot-path entry: returns immediately unless `now` crossed the next
+  // due time (one compare on the common path).
+  void tick(sim::Time now) {
+    if (now < next_due_) return;
+    sample(now);
+  }
+
+  // Force one sample (used at run boundaries so the last interval is
+  // always closed).
+  void sample(sim::Time now);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  sim::Time interval() const { return interval_; }
+  unsigned decimations() const { return decimations_; }
+  unsigned dimms() const { return dimms_; }
+  unsigned channels_per_socket() const { return channels_; }
+
+ private:
+  const hw::Platform& platform_;
+  sim::Time interval_;
+  std::size_t capacity_;
+  sim::Time next_due_ = 0;
+  unsigned decimations_ = 0;
+  unsigned dimms_ = 0;
+  unsigned channels_ = 0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace xp::telemetry

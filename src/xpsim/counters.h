@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 namespace xp::hw {
 
@@ -27,13 +28,29 @@ struct XpCounters {
 
   // EWR = iMC write bytes / media write bytes (inverse of write
   // amplification). > 1 is possible via coalescing (paper §5.1).
+  //
+  // Edge cases: with no write traffic at all the ratio is defined as 1.0
+  // (nothing was amplified). With iMC writes but zero media writes —
+  // every write still coalescing in the XPBuffer — the EWR is +infinity:
+  // finitely many interface bytes over zero media bytes. (This replaces
+  // an old magic 99.0 sentinel; callers that bin or plot EWR should clamp
+  // with std::min.) ewr() * write_amplification() == 1 exactly whenever
+  // both byte counts are nonzero.
   double ewr() const {
-    if (media_write_bytes == 0) return imc_write_bytes == 0 ? 1.0 : 99.0;
+    if (media_write_bytes == 0) {
+      return imc_write_bytes == 0
+                 ? 1.0
+                 : std::numeric_limits<double>::infinity();
+    }
     return static_cast<double>(imc_write_bytes) /
            static_cast<double>(media_write_bytes);
   }
   double write_amplification() const {
-    if (imc_write_bytes == 0) return 1.0;
+    if (imc_write_bytes == 0) {
+      return media_write_bytes == 0
+                 ? 1.0
+                 : std::numeric_limits<double>::infinity();
+    }
     return static_cast<double>(media_write_bytes) /
            static_cast<double>(imc_write_bytes);
   }
@@ -82,6 +99,14 @@ struct DramCounters {
     row_misses += o.row_misses;
     return *this;
   }
+  DramCounters operator-(const DramCounters& o) const {
+    DramCounters r = *this;
+    r.read_bytes -= o.read_bytes;
+    r.write_bytes -= o.write_bytes;
+    r.row_hits -= o.row_hits;
+    r.row_misses -= o.row_misses;
+    return r;
+  }
 };
 
 struct CacheCounters {
@@ -92,6 +117,28 @@ struct CacheCounters {
   std::uint64_t natural_evictions = 0;
   std::uint64_t writebacks = 0;
   std::uint64_t explicit_flushes = 0;
+
+  CacheCounters& operator+=(const CacheCounters& o) {
+    load_hits += o.load_hits;
+    load_misses += o.load_misses;
+    store_hits += o.store_hits;
+    store_misses += o.store_misses;
+    natural_evictions += o.natural_evictions;
+    writebacks += o.writebacks;
+    explicit_flushes += o.explicit_flushes;
+    return *this;
+  }
+  CacheCounters operator-(const CacheCounters& o) const {
+    CacheCounters r = *this;
+    r.load_hits -= o.load_hits;
+    r.load_misses -= o.load_misses;
+    r.store_hits -= o.store_hits;
+    r.store_misses -= o.store_misses;
+    r.natural_evictions -= o.natural_evictions;
+    r.writebacks -= o.writebacks;
+    r.explicit_flushes -= o.explicit_flushes;
+    return r;
+  }
 };
 
 }  // namespace xp::hw

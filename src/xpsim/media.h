@@ -49,6 +49,15 @@ class Media {
       std::uint64_t& wear = wear_[line_index];
       if (++wear % timing_.wear_threshold == 0) {
         ++c.wear_migrations;
+        // The relocation copies the line: one media read from the worn
+        // location plus one media write to the fresh one. The copy's
+        // occupancy is subsumed by the controller-wide migration stall,
+        // so only the byte counters move. This keeps the conservation
+        // laws exact: media_write_bytes == xpline * (evictions_full +
+        // evictions_partial + wear_migrations), and symmetrically for
+        // reads (tests/telemetry_test.cc).
+        c.media_read_bytes += timing_.xpline;
+        c.media_write_bytes += timing_.xpline;
         const Time until = g.start + timing_.wear_migration;
         if (until > stall_until_) stall_until_ = until;
       }

@@ -84,7 +84,8 @@ void PmemNamespace::sfence(ThreadCtx& ctx) {
   if (platform_.frozen()) return;
   ctx.drain();
   ctx.advance_by(platform_.timing().fence_overhead);
-  platform_.note_persist_event();
+  platform_.note_persist_event(PersistEventKind::kSfence, ctx.now());
+  if (TelemetrySink* sink = platform_.telemetry()) sink->tick(ctx.now());
 }
 
 void PmemNamespace::mfence(ThreadCtx& ctx) { sfence(ctx); }
@@ -251,15 +252,24 @@ void Platform::clear_crash_trigger() {
   frozen_ = false;
 }
 
-void Platform::note_persist_event() {
+void Platform::note_persist_event(PersistEventKind kind, Time t) {
   ++persist_events_;
+  if (telemetry_) telemetry_->persist_event(kind, t, persist_events_);
   if (crash_at_ != 0 && persist_events_ >= crash_at_) {
     crash_at_ = 0;
     crash_fired_ = true;
+    if (telemetry_) telemetry_->crash_fired(t, persist_events_);
     crash();
     frozen_ = true;
     throw CrashPointHit{};
   }
+}
+
+void Platform::attach_telemetry(TelemetrySink* sink) {
+  telemetry_ = sink;
+  for (unsigned s = 0; s < timing_.sockets; ++s)
+    for (unsigned ch = 0; ch < timing_.channels_per_socket; ++ch)
+      sockets_[s].xp[ch]->set_telemetry(sink, s, ch);
 }
 
 void Platform::reset_timing() {
@@ -288,7 +298,7 @@ PmemNamespace* Platform::namespace_of(std::uint64_t paddr) {
 }
 
 void Platform::coherence_flush(unsigned requesting_socket,
-                               std::uint64_t paddr_line) {
+                               std::uint64_t paddr_line, Time t) {
   for (unsigned s = 0; s < timing_.sockets; ++s) {
     if (s == requesting_socket) continue;
     CacheModel& cache = *caches_[s];
@@ -300,7 +310,7 @@ void Platform::coherence_flush(unsigned requesting_socket,
                         std::span<const std::uint8_t>(p, 64));
       }
       cache.mark_dirty(paddr_line, false);
-      note_persist_event();
+      note_persist_event(PersistEventKind::kCoherenceFlush, t);
     }
   }
 }
@@ -370,7 +380,7 @@ Time Platform::writeback_line(ThreadCtx& ctx, std::uint64_t paddr_line,
   const std::uint64_t off = paddr_line - home->base_;
   home->image_write(off, data);
   const Time ack = device_write64(ctx, *home, off, t);
-  note_persist_event();
+  note_persist_event(PersistEventKind::kWriteback, ack);
   return ack;
 }
 
@@ -399,7 +409,7 @@ void Platform::do_load(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
       ++cc.load_hits;
     } else {
       ++cc.load_misses;
-      coherence_flush(ctx.socket(), paddr_line);
+      coherence_flush(ctx.socket(), paddr_line, t0);
       done = device_read_line(ctx, ns, line_off, t0);
       CacheModel::LineData d;
       ns.image_.read(line_off, std::span<std::uint8_t>(d));
@@ -413,6 +423,7 @@ void Platform::do_load(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
     ctx.complete_access(done);
     out_pos += n;
   });
+  if (telemetry_) telemetry_->tick(ctx.now());
 }
 
 void Platform::do_store(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
@@ -437,7 +448,7 @@ void Platform::do_store(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
     } else {
       // Read-for-ownership: fill the line, then modify it in cache.
       ++cc.store_misses;
-      coherence_flush(ctx.socket(), paddr_line);
+      coherence_flush(ctx.socket(), paddr_line, t0);
       const Time fill = device_read_line(ctx, ns, line_off, t0);
       CacheModel::LineData d;
       ns.image_.read(line_off, std::span<std::uint8_t>(d));
@@ -453,6 +464,7 @@ void Platform::do_store(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
     ctx.complete_access(done);
     in_pos += n;
   });
+  if (telemetry_) telemetry_->tick(ctx.now());
 }
 
 void Platform::do_ntstore(ThreadCtx& ctx, PmemNamespace& ns,
@@ -468,7 +480,7 @@ void Platform::do_ntstore(ThreadCtx& ctx, PmemNamespace& ns,
 
     const Time t0 = ctx.begin_access(timing_.issue_gap);
     // Non-temporal stores bypass and invalidate the cache hierarchy.
-    coherence_flush(ctx.socket(), paddr_line);
+    coherence_flush(ctx.socket(), paddr_line, t0);
     if (auto victim = cache.erase(paddr_line)) {
       // A dirty cached copy existed: its bytes reach the image first, then
       // the non-temporal data overwrites the target segment.
@@ -479,8 +491,9 @@ void Platform::do_ntstore(ThreadCtx& ctx, PmemNamespace& ns,
         device_write64(ctx, ns, line_off, t0 + timing_.ntstore_wc_flush);
     ctx.complete_access(done);
     in_pos += n;
-    note_persist_event();
+    note_persist_event(PersistEventKind::kNtStoreDrain, done);
   });
+  if (telemetry_) telemetry_->tick(ctx.now());
 }
 
 void Platform::do_flush(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
@@ -511,9 +524,10 @@ void Platform::do_flush(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
       cache.erase(paddr_line);
     }
     ctx.complete_access(done);
-    if (entered_wpq) note_persist_event();
+    if (entered_wpq) note_persist_event(PersistEventKind::kWpqEntry, done);
     if (kind == FlushKind::kClflush) ctx.drain();  // serialized legacy flush
   }
+  if (telemetry_) telemetry_->tick(ctx.now());
 }
 
 }  // namespace xp::hw

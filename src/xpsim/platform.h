@@ -31,6 +31,7 @@
 #include "xpsim/interleave.h"
 #include "xpsim/memory_mode.h"
 #include "xpsim/sparse_image.h"
+#include "xpsim/telemetry_sink.h"
 #include "xpsim/timing.h"
 #include "xpsim/upi.h"
 #include "xpsim/xpdimm.h"
@@ -214,6 +215,14 @@ class Platform {
   // before every independent sim::Scheduler run on a reused Platform.
   void reset_timing();
 
+  // ---- Telemetry (src/telemetry) -----------------------------------------
+  // Attach a sink to receive structured events from every device and a
+  // tick per data-path call (see telemetry_sink.h). At most one sink; the
+  // previous one is detached. Sinks are timing-neutral, so attaching one
+  // never changes simulated results. Null detaches.
+  void attach_telemetry(TelemetrySink* sink);
+  TelemetrySink* telemetry() const { return telemetry_; }
+
   CacheModel& cache(unsigned socket) { return *caches_[socket]; }
   const CacheCounters& cache_counters(unsigned socket) const {
     return cache_counters_[socket];
@@ -221,7 +230,13 @@ class Platform {
   XpDimm& xp_dimm(unsigned socket, unsigned channel) {
     return *sockets_[socket].xp[channel];
   }
+  const XpDimm& xp_dimm(unsigned socket, unsigned channel) const {
+    return *sockets_[socket].xp[channel];
+  }
   DramDimm& dram_dimm(unsigned socket, unsigned channel) {
+    return *sockets_[socket].dram[channel];
+  }
+  const DramDimm& dram_dimm(unsigned socket, unsigned channel) const {
     return *sockets_[socket].dram[channel];
   }
   UpiLink& upi() { return *upi_; }
@@ -253,8 +268,11 @@ class Platform {
                       const CacheModel::LineData& data, Time t);
 
   // If any *other* socket caches this line dirty, flush it to the image
-  // (simplified MESI ownership transfer).
-  void coherence_flush(unsigned requesting_socket, std::uint64_t paddr_line);
+  // (simplified MESI ownership transfer). `t` is the requester's clock,
+  // used only to timestamp the telemetry event (the flush itself is
+  // data-movement only).
+  void coherence_flush(unsigned requesting_socket, std::uint64_t paddr_line,
+                       Time t);
 
   PmemNamespace* namespace_of(std::uint64_t paddr);
 
@@ -271,7 +289,9 @@ class Platform {
 
   // Record one durability-relevant event; fires the armed crash trigger
   // (crash + freeze + throw CrashPointHit) when the count is reached.
-  void note_persist_event();
+  // `kind` and `t` only feed the telemetry sink — the count itself (and
+  // therefore every crash point) is independent of them.
+  void note_persist_event(PersistEventKind kind, Time t);
 
   Timing timing_;
   std::vector<std::unique_ptr<CacheModel>> caches_;  // one per socket
@@ -285,6 +305,7 @@ class Platform {
   std::uint64_t crash_at_ = 0;  // 0 = disarmed
   bool frozen_ = false;
   bool crash_fired_ = false;
+  TelemetrySink* telemetry_ = nullptr;
 };
 
 }  // namespace xp::hw

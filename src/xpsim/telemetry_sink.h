@@ -1,0 +1,71 @@
+// Telemetry hook interface implemented by src/telemetry.
+//
+// The simulator's devices emit structured events (durability boundaries,
+// XPBuffer evictions, AIT misses, crash points) through this interface so
+// that xpsim carries no dependency on the telemetry subsystem. A Platform
+// holds at most one sink; every emission site is guarded by a single
+// null-pointer branch, so a platform with no sink attached pays one
+// predictable branch per data-path call and nothing else (verified by the
+// bench_timing hot-path canaries).
+//
+// Sinks must be timing-neutral: they may read counters and record events
+// but never touch simulated clocks or device state, so an instrumented
+// run is byte-identical to an uninstrumented one.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simtime.h"
+
+namespace xp::hw {
+
+// Which durability boundary produced a persist event. The order matches
+// the enumeration in Platform::note_persist_event's call sites.
+enum class PersistEventKind : std::uint8_t {
+  kWpqEntry,         // dirty line flushed into the WPQ (clwb/clflush(opt))
+  kNtStoreDrain,     // one 64 B line of an ntstore draining to the iMC
+  kWriteback,        // natural cache-eviction write-back
+  kCoherenceFlush,   // cross-socket ownership flush
+  kSfence,           // sfence/mfence retirement
+};
+inline constexpr unsigned kPersistEventKinds = 5;
+
+// What kind of XPBuffer slot release occurred.
+enum class EvictKind : std::uint8_t {
+  kClean,    // no dirty sub-blocks: slot freed, no media traffic
+  kFull,     // fully dirty line: one 256 B media write
+  kPartial,  // partially dirty: read-modify-write (256 B read + write)
+  kRewrite,  // fully dirty line rewritten in place: flushed, fresh round
+};
+
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+
+  // One durability boundary crossed. `seq` is the post-increment value of
+  // Platform::persist_events() — the same numbering crash_after() uses.
+  virtual void persist_event(PersistEventKind /*kind*/, sim::Time /*t*/,
+                             std::uint64_t /*seq*/) {}
+
+  // An XPBuffer slot release on DIMM (socket, channel).
+  virtual void buffer_eviction(EvictKind /*kind*/, sim::Time /*t*/,
+                               unsigned /*socket*/, unsigned /*channel*/) {}
+
+  // An AIT translation miss on DIMM (socket, channel).
+  virtual void ait_miss(sim::Time /*t*/, unsigned /*socket*/,
+                        unsigned /*channel*/) {}
+
+  // An armed crash trigger fired at persist event `seq`. Emitted before
+  // CrashPointHit is thrown.
+  virtual void crash_fired(sim::Time /*t*/, std::uint64_t /*seq*/) {}
+
+  // Called once per timed data-path operation (load/store/ntstore/flush/
+  // fence) with the issuing thread's clock; drives periodic samplers.
+  virtual void tick(sim::Time /*now*/) {}
+
+  // A workload runner finished a measured run on this platform.
+  virtual void run_complete(const char* /*name*/, sim::Time /*start*/,
+                            sim::Time /*end*/) {}
+};
+
+}  // namespace xp::hw

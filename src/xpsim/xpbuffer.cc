@@ -25,6 +25,8 @@ Time XpBuffer::write64(Time t, std::uint64_t line, unsigned sub,
       // the combined line to media and starts a fresh combining round.
       // (This is what exposes hot-line wear and Fig 3's tail outliers.)
       ++c.evictions_full;
+      if (sink_) sink_->buffer_eviction(EvictKind::kRewrite, t, socket_,
+                                        channel_);
       const Time start = std::max(t, e->ready_at);
       const auto g = media_.write_line(start, e->line, c);
       e->dirty_mask = static_cast<std::uint8_t>(1u << sub);
@@ -79,10 +81,14 @@ Time XpBuffer::evict(std::size_t idx, Time t, XpCounters& c) {
   const Time start = std::max(t, e.ready_at);
   if (e.dirty_mask == 0) {
     ++c.evictions_clean;
+    if (sink_) sink_->buffer_eviction(EvictKind::kClean, start, socket_,
+                                      channel_);
     return start;  // clean: slot free immediately
   }
   if (e.dirty_mask == kFullMask) {
     ++c.evictions_full;
+    if (sink_) sink_->buffer_eviction(EvictKind::kFull, start, socket_,
+                                      channel_);
     // The slot is reusable once the media write has *started* (the data
     // moves to the media write register); store latency stays decoupled
     // from the 662 ns media write while throughput is still capped by it.
@@ -90,6 +96,8 @@ Time XpBuffer::evict(std::size_t idx, Time t, XpCounters& c) {
   }
   // Partial line: read-modify-write against the media.
   ++c.evictions_partial;
+  if (sink_) sink_->buffer_eviction(EvictKind::kPartial, start, socket_,
+                                    channel_);
   const Time read_done = media_.read_line(start, e.line, c).end;
   return media_.write_line(read_done, e.line, c).start;
 }

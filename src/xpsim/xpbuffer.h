@@ -26,6 +26,7 @@
 #include "sim/simtime.h"
 #include "xpsim/counters.h"
 #include "xpsim/media.h"
+#include "xpsim/telemetry_sink.h"
 #include "xpsim/timing.h"
 
 namespace xp::hw {
@@ -51,6 +52,23 @@ class XpBuffer {
   }
 
   std::size_t occupancy() const { return entries_.size(); }
+
+  // Lines currently holding at least one dirty 64 B sub-block (linear
+  // scan over <= xpbuffer_lines entries; telemetry-sampling only).
+  std::size_t dirty_lines() const {
+    std::size_t n = 0;
+    for (const Entry& e : entries_)
+      if (e.dirty_mask != 0) ++n;
+    return n;
+  }
+
+  // Telemetry: emit eviction events to `sink` tagged (socket, channel).
+  // Set by the owning XpDimm; null detaches.
+  void set_telemetry(TelemetrySink* sink, unsigned socket, unsigned channel) {
+    sink_ = sink;
+    socket_ = socket;
+    channel_ = channel;
+  }
 
   // Write back every dirty line (used by tests and power-fail flush).
   void flush_all(Time t, XpCounters& c);
@@ -83,6 +101,9 @@ class XpBuffer {
   const Timing& timing_;
   Media& media_;
   std::vector<Entry> entries_;  // <= xpbuffer_lines; linear scan (64 max)
+  TelemetrySink* sink_ = nullptr;
+  unsigned socket_ = 0;
+  unsigned channel_ = 0;
 };
 
 }  // namespace xp::hw

@@ -9,6 +9,7 @@ Time XpDimm::ait_lookup(Time t, std::uint64_t dimm_addr) {
   if (ait_.access(region)) return t + timing_.ait_hit;
   // Translation miss: fetch the entry from the DIMM's dedicated AIT DRAM.
   ++counters_.ait_misses;
+  if (sink_) sink_->ait_miss(t, socket_, channel_);
   return t + timing_.ait_hit + timing_.ait_miss;
 }
 

@@ -28,6 +28,7 @@
 #include "sim/simtime.h"
 #include "xpsim/counters.h"
 #include "xpsim/media.h"
+#include "xpsim/telemetry_sink.h"
 #include "xpsim/timing.h"
 #include "xpsim/xpbuffer.h"
 
@@ -64,6 +65,21 @@ class XpDimm {
   XpCounters& counters() { return counters_; }
   Media& media() { return media_; }
   XpBuffer& buffer() { return buffer_; }
+  const XpBuffer& buffer() const { return buffer_; }
+
+  // Residual pending-queue occupancy (entries whose drain time has not
+  // yet been observed to pass; see sim::BoundedQueue). Telemetry gauges.
+  std::size_t wpq_occupancy() const { return wpq_.occupancy(); }
+  std::size_t rpq_occupancy() const { return rpq_.occupancy(); }
+
+  // Telemetry: attach `sink` for AIT-miss and XPBuffer-eviction events,
+  // tagged with this DIMM's (socket, channel). Null detaches.
+  void set_telemetry(TelemetrySink* sink, unsigned socket, unsigned channel) {
+    sink_ = sink;
+    socket_ = socket;
+    channel_ = channel;
+    buffer_.set_telemetry(sink, socket, channel);
+  }
 
   // New measurement epoch: forget all reservation state (queues, banks,
   // credits). Wear, AIT contents and counters persist.
@@ -88,6 +104,9 @@ class XpDimm {
   sim::BoundedQueue rpq_;
   Time ddrt_64b_;
   XpCounters counters_;
+  TelemetrySink* sink_ = nullptr;
+  unsigned socket_ = 0;
+  unsigned channel_ = 0;
   std::unordered_map<unsigned, std::deque<Time>> thread_credits_;
   std::vector<unsigned> write_streams_;  // LRU, front = most recent
   std::vector<unsigned> read_streams_;

@@ -13,6 +13,8 @@
 #include "lattester/runner.h"
 #include "pmemlib/pool.h"
 #include "sim/scheduler.h"
+#include "telemetry/registry.h"
+#include "telemetry/session.h"
 #include "xpsim/platform.h"
 
 namespace xp {
@@ -226,6 +228,91 @@ TEST(TxLanes, ConcurrentTransactionsRollBackIndependently) {
   EXPECT_EQ(ns.load_pod<std::uint64_t>(setup, root + 8), 2u);    // rolled back
   EXPECT_EQ(ns.load_pod<std::uint64_t>(setup, root + 16), 3u);   // untouched
 }
+
+// ------------------------------------------- conservation oracle --------
+// Random programs through the full namespace API (stores, ntstores,
+// flushes, loads, a crash) with a telemetry session attached. Checks
+// that (a) the byte-conservation laws hold on the final snapshot, (b)
+// the session's event histograms agree exactly with the hardware
+// counters, and (c) observing did not change what became durable — the
+// post-crash image is byte-identical to an unobserved twin run.
+class ConservationOracle : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ConservationOracle, ObservedRunConservesAndMatchesUnobserved) {
+  constexpr std::uint64_t kRegion = 128 << 10;
+  auto run_program = [&](Platform& platform, PmemNamespace& ns) {
+    ThreadCtx t({.id = 0, .socket = 0, .mlp = 8, .seed = 5});
+    sim::Rng rng(GetParam());
+    for (int op = 0; op < 1500; ++op) {
+      const std::size_t len = 1 + rng.uniform(400);
+      const std::uint64_t off = rng.uniform(kRegion - len);
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+      switch (rng.uniform(4)) {
+        case 0:
+          ns.ntstore_persist(t, off, data);
+          break;
+        case 1:
+          ns.store(t, off, data);
+          break;
+        case 2:
+          ns.store_persist(t, off, data);
+          break;
+        case 3: {
+          std::vector<std::uint8_t> out(len);
+          ns.load(t, off, out);
+          break;
+        }
+      }
+    }
+  };
+
+  Platform observed(hw::Timing{}, /*seed=*/9);
+  telemetry::Session session(observed);
+  PmemNamespace& ns_obs = observed.optane(1 << 20);
+  run_program(observed, ns_obs);
+
+  const telemetry::Snapshot snap = telemetry::Snapshot::capture(observed);
+  const hw::XpCounters c = snap.xp_total();
+  const hw::Timing& tm = observed.timing();
+  ASSERT_GT(c.media_write_bytes, 0u);
+  EXPECT_EQ(c.media_write_bytes,
+            tm.xpline * (c.evictions_full + c.evictions_partial +
+                         c.wear_migrations));
+  EXPECT_EQ(c.media_read_bytes,
+            tm.xpline * (c.buffer_miss_reads + c.evictions_partial +
+                         c.wear_migrations));
+  EXPECT_EQ(c.imc_read_bytes,
+            tm.cacheline * (c.buffer_hit_reads + c.buffer_miss_reads));
+
+  std::uint64_t histo = 0;
+  for (unsigned k = 0; k < hw::kPersistEventKinds; ++k)
+    histo += session.persist_count(static_cast<hw::PersistEventKind>(k));
+  EXPECT_EQ(histo, observed.persist_events());
+  EXPECT_EQ(session.eviction_count(hw::EvictKind::kFull) +
+                session.eviction_count(hw::EvictKind::kRewrite),
+            c.evictions_full);
+  EXPECT_EQ(session.eviction_count(hw::EvictKind::kPartial),
+            c.evictions_partial);
+  EXPECT_EQ(session.ait_miss_count(), c.ait_misses);
+
+  Platform unobserved(hw::Timing{}, /*seed=*/9);
+  PmemNamespace& ns_un = unobserved.optane(1 << 20);
+  run_program(unobserved, ns_un);
+  EXPECT_EQ(unobserved.persist_events(), observed.persist_events());
+
+  observed.crash();
+  unobserved.crash();
+  std::vector<std::uint8_t> img_obs(kRegion), img_un(kRegion);
+  ns_obs.peek(0, img_obs);
+  ns_un.peek(0, img_un);
+  ASSERT_EQ(0, std::memcmp(img_obs.data(), img_un.data(), kRegion))
+      << "telemetry changed the durable image";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationOracle,
+                         ::testing::Values(23, 29, 31, 37));
 
 // ---------------------------------------------------- determinism -------
 TEST(Determinism, IdenticalSeedsIdenticalResults) {
