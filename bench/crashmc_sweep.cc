@@ -6,13 +6,22 @@
 // store and evaluates its recovery invariants. Reports points-explored
 // per second; exits non-zero if any invariant is violated.
 //
+// --faults switches to the media fault-injection campaign: instead of
+// crashing at persist events it poisons the XPLine under enumerated
+// device reads (plus --poison-points at-rest scatter points), runs each
+// store's repair path, and checks the containment contract — recovery or
+// a typed error, never silent corruption. --checksums turns on the
+// optional WAL/log record checksums for the stores that have them.
+//
 // Usage: crashmc_sweep [--points N] [--seed S] [--store NAME] [--trace F]
+//                      [--faults] [--poison-points N] [--checksums]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/crashmc/explorer.h"
+#include "src/crashmc/faultcampaign.h"
 #include "src/crashmc/workloads.h"
 #include "telemetry/session.h"
 #include "telemetry/trace.h"
@@ -38,6 +47,27 @@ class CrashTraceSink : public xp::hw::TelemetrySink {
     writer_->instant("crash_point", "crashmc", t, pid_, 0, args);
   }
 
+  void media_fault(xp::hw::MediaFaultKind kind, xp::sim::Time t,
+                   unsigned /*socket*/, unsigned channel,
+                   std::uint64_t line_off) override {
+    const char* name = "media_fault";
+    switch (kind) {
+      case xp::hw::MediaFaultKind::kCorrected: name = "ecc_corrected"; break;
+      case xp::hw::MediaFaultKind::kPoisoned: name = "poisoned"; break;
+      case xp::hw::MediaFaultKind::kUncorrectable:
+        name = "uncorrectable";
+        break;
+      case xp::hw::MediaFaultKind::kClearedByWrite:
+        name = "cleared_by_write";
+        break;
+      case xp::hw::MediaFaultKind::kScrubFound: name = "scrub_found"; break;
+    }
+    char args[64];
+    std::snprintf(args, sizeof(args), "{\"line_off\":%llu}",
+                  static_cast<unsigned long long>(line_off));
+    writer_->instant(name, "media_fault", t, pid_, channel, args);
+  }
+
  private:
   xp::telemetry::TraceWriter* writer_;
   unsigned pid_ = 0;
@@ -50,6 +80,9 @@ int main(int argc, char** argv) {
   const std::string trace_path = xp::telemetry::trace_path_from_args(argc, argv);
   std::uint64_t points = 200;
   std::uint64_t seed = 1;
+  std::uint64_t poison_points = 64;
+  bool faults = false;
+  bool checksums = false;
   std::string only;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
@@ -58,6 +91,12 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
       only = argv[++i];
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
+    } else if (std::strcmp(argv[i], "--poison-points") == 0 && i + 1 < argc) {
+      poison_points = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--checksums") == 0) {
+      checksums = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       ++i;  // value already consumed by trace_path_from_args
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
@@ -65,7 +104,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--points N] [--seed S] [--store NAME] "
-                   "[--trace FILE]\n",
+                   "[--trace FILE] [--faults] [--poison-points N] "
+                   "[--checksums]\n",
                    argv[0]);
       return 2;
     }
@@ -73,6 +113,63 @@ int main(int argc, char** argv) {
 
   xp::telemetry::TraceWriter writer;
   CrashTraceSink sink(&writer);
+
+  if (faults) {
+    xp::crashmc::FaultOptions fopts;
+    fopts.max_exhaustive = points;
+    fopts.samples = points;
+    fopts.poison_points = poison_points;
+    fopts.seed = seed;
+    if (!trace_path.empty()) fopts.sink = &sink;
+
+    std::printf(
+        "# crashmc_sweep --faults: <= %llu read points + %llu at-rest "
+        "points per store, seed %llu, checksums %s\n",
+        static_cast<unsigned long long>(points),
+        static_cast<unsigned long long>(poison_points),
+        static_cast<unsigned long long>(seed), checksums ? "on" : "off");
+    std::printf("%-14s %10s %10s %10s %10s %11s %12s\n", "store", "reads",
+                "points", "fired", "poisoned", "violations", "points/sec");
+
+    bool failed = false;
+    std::uint64_t total_points = 0;
+    for (auto& target : xp::crashmc::all_targets(checksums)) {
+      if (!only.empty() && target->name() != only) continue;
+      if (fopts.sink) sink.begin_store(target->name());
+      const xp::crashmc::FaultResult r =
+          xp::crashmc::explore_faults(*target, fopts);
+      std::printf("%-14s %10llu %10llu %10llu %10llu %11zu %12.1f\n",
+                  target->name().c_str(),
+                  static_cast<unsigned long long>(r.total_reads),
+                  static_cast<unsigned long long>(r.points_explored),
+                  static_cast<unsigned long long>(r.faults_fired),
+                  static_cast<unsigned long long>(r.lines_poisoned),
+                  r.violations.size(),
+                  r.seconds > 0.0
+                      ? static_cast<double>(r.points_explored) / r.seconds
+                      : 0.0);
+      total_points += r.points_explored;
+      for (const auto& v : r.violations) {
+        std::fprintf(stderr, "VIOLATION %s @ fault point %llu: %s\n",
+                     target->name().c_str(),
+                     static_cast<unsigned long long>(v.point),
+                     v.detail.c_str());
+        failed = true;
+      }
+    }
+    std::printf("# total fault points explored: %llu\n",
+                static_cast<unsigned long long>(total_points));
+    if (!trace_path.empty()) {
+      if (!writer.write_file(trace_path)) {
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     trace_path.c_str());
+        return 2;
+      }
+      std::printf("# trace: %s (%zu events)\n", trace_path.c_str(),
+                  writer.events());
+    }
+    return failed ? 1 : 0;
+  }
 
   xp::crashmc::Options opts;
   opts.max_exhaustive = points;

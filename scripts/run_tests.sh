@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full test gate: a Debug build with ASan+UBSan and a Release build, both
 # running the complete ctest suite, then a bounded crash-point sweep
-# (~200 points per store) as a smoke check that every persistent store's
-# recovery invariants hold. Intended for CI and for pre-commit runs.
+# (~200 points per store) plus a bounded media fault-injection campaign
+# (fixed seed, ~100 points per store) as smoke checks that every
+# persistent store's recovery invariants and poison-containment contract
+# hold. Intended for CI and for pre-commit runs.
 #
 # Usage: scripts/run_tests.sh [--tier1] [jobs]
 #   --tier1  run only the fast always-on gate (`ctest -L tier1`, Release
@@ -57,6 +59,11 @@ cmake --build build-release -j "$JOBS" > /dev/null
 echo
 echo "== crashmc smoke sweep (~200 points per store) =="
 build-release/bench/crashmc_sweep --points 200
+
+echo
+echo "== media fault-injection smoke campaign (~100 points per store) =="
+build-release/bench/crashmc_sweep --faults --points 80 --poison-points 20 \
+    --seed 42 --checksums
 
 echo
 echo "All test gates passed."

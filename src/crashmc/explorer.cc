@@ -8,30 +8,24 @@
 
 namespace xp::crashmc {
 
-namespace {
-
-// Distinct crash points to explore: all of [1, total] when exhaustive,
-// otherwise `samples` distinct values drawn from a seeded RNG (sorted, so
-// progress is monotone and runs are reproducible).
 std::vector<std::uint64_t> choose_points(std::uint64_t total,
-                                         const Options& opts) {
+                                         std::uint64_t max_exhaustive,
+                                         std::uint64_t samples,
+                                         std::uint64_t seed) {
   std::vector<std::uint64_t> points;
   if (total == 0) return points;
-  if (total <= opts.max_exhaustive || opts.samples >= total) {
+  if (total <= max_exhaustive || samples >= total) {
     points.resize(static_cast<std::size_t>(total));
     for (std::uint64_t k = 0; k < total; ++k) points[k] = k + 1;
     return points;
   }
-  sim::Rng rng(opts.seed * 0x9e3779b97f4a7c15ULL + total);
+  sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + total);
   std::unordered_set<std::uint64_t> seen;
-  while (seen.size() < opts.samples)
-    seen.insert(1 + rng.uniform(total));
+  while (seen.size() < samples) seen.insert(1 + rng.uniform(total));
   points.assign(seen.begin(), seen.end());
   std::sort(points.begin(), points.end());
   return points;
 }
-
-}  // namespace
 
 Result explore(Target& target, const Options& opts) {
   Result r;
@@ -52,7 +46,9 @@ Result explore(Target& target, const Options& opts) {
   }
 
   if (opts.keep_going || r.violations.empty()) {
-    for (const std::uint64_t k : choose_points(r.total_events, opts)) {
+    for (const std::uint64_t k :
+         choose_points(r.total_events, opts.max_exhaustive, opts.samples,
+                       opts.seed)) {
       hw::Platform& platform = target.reset();
       if (opts.sink) platform.attach_telemetry(opts.sink);
       platform.crash_after(k);

@@ -84,7 +84,23 @@ class Target {
   // objects (as a restarted process would), run its recovery path, and
   // check every invariant. Returns "" when all hold, else a diagnostic.
   virtual std::string recover_and_check() = 0;
+
+  // Post-media-fault (see faultcampaign.h): re-open from the possibly
+  // poisoned durable image with fresh objects, run the store's
+  // repair/scrub path, and check. Media damage may cost committed data,
+  // but only *reported* loss is acceptable — an unreported divergence
+  // from the crash-consistent states, or any recovered value that was
+  // never written, is silent corruption. Returns "" when that holds.
+  virtual std::string repair_and_check() { return recover_and_check(); }
 };
+
+// Distinct points to explore in [1, total]: all of them when total <=
+// max_exhaustive (or samples covers them), otherwise `samples` distinct
+// seeded draws, sorted. Shared by the crash explorer and fault campaign.
+std::vector<std::uint64_t> choose_points(std::uint64_t total,
+                                         std::uint64_t max_exhaustive,
+                                         std::uint64_t samples,
+                                         std::uint64_t seed);
 
 Result explore(Target& target, const Options& opts = {});
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 
 #include "lsmkv/db.h"
@@ -69,7 +70,7 @@ class PmemlibTarget final : public Target {
     sim::ThreadCtx ctx = make_thread(5);
     pmem::Pool pool(*ns_);
     if (!pool.open(ctx)) return "open() found no valid pool";
-    if (std::string err = pool.check(ctx); !err.empty()) return err;
+    if (Status st = pool.check(ctx); !st.ok()) return st.to_string();
     for (unsigned s = 0; s < kSlots; ++s) {
       const auto v = ns_->load_pod<std::uint64_t>(ctx, root_ + s * 8);
       if (v != encode(s, acked_[s]) && v != encode(s, attempted_[s]))
@@ -77,6 +78,33 @@ class PmemlibTarget final : public Target {
                std::to_string(v) + ", want version " +
                std::to_string(acked_[s]) + " or " +
                std::to_string(attempted_[s]);
+    }
+    return "";
+  }
+
+  std::string repair_and_check() override {
+    sim::ThreadCtx ctx = make_thread(5);
+    pmem::Pool pool(*ns_);
+    // Both header copies gone is a typed, reported total loss — only
+    // *silent* corruption violates the containment contract.
+    if (!pool.open(ctx)) return "";
+    pool.repair(ctx);
+    if (Status st = pool.check(ctx); !st.ok()) return st.to_string();
+    const bool reported = pool.recovery().damaged();
+    for (unsigned s = 0; s < kSlots; ++s) {
+      const auto v = ns_->load_pod<std::uint64_t>(ctx, root_ + s * 8);
+      if (v == encode(s, acked_[s]) || v == encode(s, attempted_[s]))
+        continue;
+      // Off the crash-consistent window: allowed only as *reported* media
+      // loss, and only to a value the slot actually held (or scrub zeros)
+      // — anything else is silent corruption.
+      bool historical = v == 0;
+      for (std::uint64_t q = 0; q <= attempted_[s] && !historical; ++q)
+        historical = v == encode(s, q);
+      if (!reported || !historical)
+        return "slot " + std::to_string(s) + ": silent corruption (holds " +
+               std::to_string(v) + ", damage reported: " +
+               (reported ? "yes" : "no") + ")";
     }
     return "";
   }
@@ -128,7 +156,8 @@ class PmemlibTarget final : public Target {
 // low L0 trigger pull flushes and a compaction into the crash window.
 class LsmkvTarget final : public Target {
  public:
-  explicit LsmkvTarget(kv::WalMode mode) : mode_(mode) {}
+  LsmkvTarget(kv::WalMode mode, bool wal_checksum)
+      : mode_(mode), wal_checksum_(wal_checksum) {}
 
   std::string name() const override {
     return mode_ == kv::WalMode::kPosix ? "lsmkv-posix" : "lsmkv-flex";
@@ -139,6 +168,7 @@ class LsmkvTarget final : public Target {
     ns_ = &platform_->optane(32 << 20);
     opts_ = kv::DbOptions{};
     opts_.wal = mode_;
+    opts_.wal_checksum = wal_checksum_;
     opts_.memtable = kv::MemtableMode::kVolatile;
     opts_.wal_capacity = 1 << 20;
     opts_.memtable_bytes = 512;
@@ -149,6 +179,7 @@ class LsmkvTarget final : public Target {
     db_->create(ctx);
     prev_.clear();
     cur_.clear();
+    history_.clear();
     platform_->reset_timing();
     return *platform_;
   }
@@ -169,6 +200,7 @@ class LsmkvTarget final : public Target {
             key + "#" + std::to_string(op) +
             std::string(4 + rng.uniform(16), 'a' + static_cast<char>(op % 26));
         cur_[key] = val;
+        history_[key].insert(val);
         db_->put(ctx, key, val);
       }
     }
@@ -178,7 +210,7 @@ class LsmkvTarget final : public Target {
     sim::ThreadCtx ctx = make_thread(5);
     kv::Db db(*ns_, opts_);
     if (!db.open(ctx)) return "open() found no valid database";
-    if (std::string err = db.check(ctx); !err.empty()) return err;
+    if (Status st = db.check(ctx); !st.ok()) return st.to_string();
     std::map<std::string, std::string> got;
     for (unsigned k = 0; k < kKeys; ++k) {
       const std::string key = "key" + std::to_string(k);
@@ -192,16 +224,54 @@ class LsmkvTarget final : public Target {
     return "";
   }
 
+  std::string repair_and_check() override {
+    sim::ThreadCtx ctx = make_thread(5);
+    kv::Db db(*ns_, opts_);
+    bool opened = false;
+    try {
+      opened = db.open(ctx);
+    } catch (const hw::MediaError&) {
+      // Unreadable critical metadata even after the built-in fallbacks: a
+      // typed, reported total loss — the contract forbids only *silent*
+      // corruption. Nothing left to verify.
+      return "";
+    }
+    if (!opened) return "";  // reported total loss (backup invalid too)
+    db.repair(ctx);
+    if (Status st = db.check(ctx); !st.ok()) return st.to_string();
+    std::map<std::string, std::string> got;
+    for (unsigned k = 0; k < kKeys; ++k) {
+      const std::string key = "key" + std::to_string(k);
+      std::string v;
+      if (db.get(ctx, key, &v)) got[key] = v;
+    }
+    if (got == prev_ || got == cur_) return "";
+    if (!db.recovery().damaged() && !db.pool().recovery().damaged())
+      return "silent corruption: recovered state diverges from the pre-/"
+             "post-op states with no damage reported";
+    // Reported loss may drop committed records, but every surviving value
+    // must be one this key actually held.
+    for (const auto& [key, val] : got) {
+      const auto it = history_.find(key);
+      if (it == history_.end() || it->second.count(val) == 0)
+        return "silent corruption: key " + key + " holds a never-written "
+               "value";
+    }
+    return "";
+  }
+
  private:
   static constexpr unsigned kKeys = 8;
   static constexpr unsigned kOps = 48;
 
   kv::WalMode mode_;
+  bool wal_checksum_;
   std::unique_ptr<hw::Platform> platform_;
   hw::PmemNamespace* ns_ = nullptr;
   kv::DbOptions opts_;
   std::unique_ptr<kv::Db> db_;
   std::map<std::string, std::string> prev_, cur_;
+  std::map<std::string, std::set<std::string>> history_;
 };
 
 // -------------------------------------------------------------- novafs --
@@ -213,6 +283,8 @@ class LsmkvTarget final : public Target {
 // the crash window.
 class NovafsTarget final : public Target {
  public:
+  explicit NovafsTarget(bool log_checksum) : log_checksum_(log_checksum) {}
+
   std::string name() const override { return "novafs"; }
 
   hw::Platform& reset() override {
@@ -222,6 +294,7 @@ class NovafsTarget final : public Target {
     opt_.datalog = true;
     opt_.merge_threshold = 4;
     opt_.clean_threshold = 6;
+    opt_.log_checksum = log_checksum_;
     fs_ = std::make_unique<nova::NovaFs>(*ns_, opt_);
     sim::ThreadCtx ctx = make_thread(0);
     fs_->format(ctx);
@@ -282,7 +355,7 @@ class NovafsTarget final : public Target {
     sim::ThreadCtx ctx = make_thread(5);
     nova::NovaFs fs(*ns_, opt_);
     if (!fs.mount(ctx)) return "mount() found no valid file system";
-    if (std::string err = fs.fsck(ctx); !err.empty()) return err;
+    if (Status st = fs.fsck(ctx); !st.ok()) return st.to_string();
     std::map<std::string, std::string> got;
     for (const char* name : {"alpha", "beta", "gamma"}) {
       const int ino = fs.open(ctx, name);
@@ -300,6 +373,38 @@ class NovafsTarget final : public Target {
     return "";
   }
 
+  std::string repair_and_check() override {
+    sim::ThreadCtx ctx = make_thread(5);
+    nova::NovaFs fs(*ns_, opt_);
+    bool mounted = false;
+    try {
+      mounted = fs.mount(ctx);
+    } catch (const hw::MediaError&) {
+      return "";  // typed, reported total loss
+    }
+    if (!mounted) return "";  // both superblock copies gone: reported loss
+    fs.repair(ctx);
+    if (Status st = fs.fsck(ctx); !st.ok()) return st.to_string();
+    std::map<std::string, std::string> got;
+    for (const char* name : {"alpha", "beta", "gamma"}) {
+      const int ino = fs.open(ctx, name);
+      if (ino < 0) continue;
+      const std::uint64_t size = fs.size(ctx, ino);
+      std::string content(size, '\0');
+      fs.read(ctx, ino, 0,
+              std::span<std::uint8_t>(
+                  reinterpret_cast<std::uint8_t*>(content.data()), size));
+      got[name] = std::move(content);
+    }
+    if (got == prev_ || got == cur_) return "";
+    // Repair may legally drop overlays/log suffixes (older committed
+    // bytes resurface) — but only as *reported* damage.
+    if (!fs.recovery().damaged())
+      return "silent corruption: recovered file set diverges from the "
+             "pre-/post-op states with no damage reported";
+    return "";
+  }
+
  private:
   static constexpr unsigned kOps = 28;
 
@@ -310,6 +415,7 @@ class NovafsTarget final : public Target {
     std::memset(content.data() + off, fill, len);
   }
 
+  bool log_checksum_;
   std::unique_ptr<hw::Platform> platform_;
   hw::PmemNamespace* ns_ = nullptr;
   nova::NovaOptions opt_;
@@ -337,6 +443,7 @@ class CmapTarget final : public Target {
     map_->create(ctx);
     prev_.clear();
     cur_.clear();
+    history_.clear();
     platform_->reset_timing();
     return *platform_;
   }
@@ -359,6 +466,7 @@ class CmapTarget final : public Target {
         std::string val = key + "#" + std::to_string(op);
         val.resize(len, 'x');
         cur_[key] = val;
+        history_[key].insert(val);
         map_->put(ctx, key, val);
       }
     }
@@ -368,10 +476,10 @@ class CmapTarget final : public Target {
     sim::ThreadCtx ctx = make_thread(5);
     pmem::Pool pool(*ns_);
     if (!pool.open(ctx)) return "open() found no valid pool";
-    if (std::string err = pool.check(ctx); !err.empty()) return err;
+    if (Status st = pool.check(ctx); !st.ok()) return st.to_string();
     pmemkv::CMap map(pool);
     map.open(ctx);
-    if (std::string err = map.check(ctx); !err.empty()) return err;
+    if (Status st = map.check(ctx); !st.ok()) return st.to_string();
     std::map<std::string, std::string> got;
     for (unsigned k = 0; k < kKeys; ++k) {
       const std::string key = "k" + std::to_string(k);
@@ -384,6 +492,42 @@ class CmapTarget final : public Target {
     return "";
   }
 
+  std::string repair_and_check() override {
+    sim::ThreadCtx ctx = make_thread(5);
+    pmem::Pool pool(*ns_);
+    if (!pool.open(ctx)) return "";  // reported total loss
+    pmemkv::CMap map(pool);
+    try {
+      map.open(ctx);
+    } catch (const hw::MediaError&) {
+      // The root pointer to the bucket table is gone: reported total
+      // loss. Scrub so the namespace is at least readable again.
+      pool.repair(ctx);
+      return "";
+    }
+    map.repair(ctx);   // quarantine chain damage, then scrub
+    pool.repair(ctx);  // revalidate the free list over the scrubbed lines
+    if (Status st = pool.check(ctx); !st.ok()) return st.to_string();
+    if (Status st = map.check(ctx); !st.ok()) return st.to_string();
+    std::map<std::string, std::string> got;
+    for (unsigned k = 0; k < kKeys; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      std::string v;
+      if (map.get(ctx, key, &v)) got[key] = v;
+    }
+    if (got == prev_ || got == cur_) return "";
+    if (!map.recovery().damaged() && !pool.recovery().damaged())
+      return "silent corruption: recovered map diverges from the pre-/"
+             "post-op states with no damage reported";
+    for (const auto& [key, val] : got) {
+      const auto it = history_.find(key);
+      if (it == history_.end() || it->second.count(val) == 0)
+        return "silent corruption: key " + key + " holds a never-written "
+               "value";
+    }
+    return "";
+  }
+
  private:
   static constexpr unsigned kKeys = 12;
   static constexpr unsigned kOps = 40;
@@ -393,6 +537,7 @@ class CmapTarget final : public Target {
   std::unique_ptr<pmem::Pool> pool_;
   std::unique_ptr<pmemkv::CMap> map_;
   std::map<std::string, std::string> prev_, cur_;
+  std::map<std::string, std::set<std::string>> history_;
 };
 
 // --------------------------------------------------------------- stree --
@@ -414,6 +559,7 @@ class StreeTarget final : public Target {
     tree_->create(ctx);
     prev_.clear();
     cur_.clear();
+    history_.clear();
     platform_->reset_timing();
     return *platform_;
   }
@@ -436,6 +582,7 @@ class StreeTarget final : public Target {
             std::string(key) + "=" + std::to_string(op) +
             std::string(rng.uniform(12), 'v');
         cur_[key] = val;
+        history_[key].insert(val);
         tree_->put(ctx, key, val);
       }
     }
@@ -445,10 +592,10 @@ class StreeTarget final : public Target {
     sim::ThreadCtx ctx = make_thread(5);
     pmem::Pool pool(*ns_);
     if (!pool.open(ctx)) return "open() found no valid pool";
-    if (std::string err = pool.check(ctx); !err.empty()) return err;
+    if (Status st = pool.check(ctx); !st.ok()) return st.to_string();
     pmemkv::STree tree(pool);
     tree.open(ctx);
-    if (std::string err = tree.check(ctx); !err.empty()) return err;
+    if (Status st = tree.check(ctx); !st.ok()) return st.to_string();
     std::map<std::string, std::string> got;
     for (unsigned k = 0; k < kKeys; ++k) {
       char key[8];
@@ -462,6 +609,41 @@ class StreeTarget final : public Target {
     return "";
   }
 
+  std::string repair_and_check() override {
+    sim::ThreadCtx ctx = make_thread(5);
+    pmem::Pool pool(*ns_);
+    if (!pool.open(ctx)) return "";  // reported total loss
+    pmemkv::STree tree(pool);
+    try {
+      tree.open(ctx);
+    } catch (const hw::MediaError&) {
+      // repair() below copes with a half-built index (it re-reads the
+      // root via the durable image once the damage is mapped).
+    }
+    tree.repair(ctx);  // quarantine chain damage, scrub, rebuild index
+    pool.repair(ctx);  // revalidate the free list over the scrubbed lines
+    if (Status st = pool.check(ctx); !st.ok()) return st.to_string();
+    if (Status st = tree.check(ctx); !st.ok()) return st.to_string();
+    std::map<std::string, std::string> got;
+    for (unsigned k = 0; k < kKeys; ++k) {
+      char key[8];
+      std::snprintf(key, sizeof(key), "key%02u", k);
+      std::string v;
+      if (tree.get(ctx, key, &v)) got[key] = v;
+    }
+    if (got == prev_ || got == cur_) return "";
+    if (!tree.recovery().damaged() && !pool.recovery().damaged())
+      return "silent corruption: recovered tree diverges from the pre-/"
+             "post-op states with no damage reported";
+    for (const auto& [key, val] : got) {
+      const auto it = history_.find(key);
+      if (it == history_.end() || it->second.count(val) == 0)
+        return "silent corruption: key " + key + " holds a never-written "
+               "value";
+    }
+    return "";
+  }
+
  private:
   static constexpr unsigned kKeys = 48;
   static constexpr unsigned kOps = 60;
@@ -471,6 +653,7 @@ class StreeTarget final : public Target {
   std::unique_ptr<pmem::Pool> pool_;
   std::unique_ptr<pmemkv::STree> tree_;
   std::map<std::string, std::string> prev_, cur_;
+  std::map<std::string, std::set<std::string>> history_;
 };
 
 }  // namespace
@@ -478,11 +661,12 @@ class StreeTarget final : public Target {
 std::unique_ptr<Target> make_pmemlib_target(bool inject_commit_fault) {
   return std::make_unique<PmemlibTarget>(inject_commit_fault);
 }
-std::unique_ptr<Target> make_lsmkv_target(kv::WalMode mode) {
-  return std::make_unique<LsmkvTarget>(mode);
+std::unique_ptr<Target> make_lsmkv_target(kv::WalMode mode,
+                                          bool wal_checksum) {
+  return std::make_unique<LsmkvTarget>(mode, wal_checksum);
 }
-std::unique_ptr<Target> make_novafs_target() {
-  return std::make_unique<NovafsTarget>();
+std::unique_ptr<Target> make_novafs_target(bool log_checksum) {
+  return std::make_unique<NovafsTarget>(log_checksum);
 }
 std::unique_ptr<Target> make_cmap_target() {
   return std::make_unique<CmapTarget>();
@@ -491,11 +675,11 @@ std::unique_ptr<Target> make_stree_target() {
   return std::make_unique<StreeTarget>();
 }
 
-std::vector<std::unique_ptr<Target>> all_targets() {
+std::vector<std::unique_ptr<Target>> all_targets(bool checksums) {
   std::vector<std::unique_ptr<Target>> targets;
   targets.push_back(make_pmemlib_target());
-  targets.push_back(make_lsmkv_target());
-  targets.push_back(make_novafs_target());
+  targets.push_back(make_lsmkv_target(kv::WalMode::kFlex, checksums));
+  targets.push_back(make_novafs_target(checksums));
   targets.push_back(make_cmap_target());
   targets.push_back(make_stree_target());
   return targets;

@@ -37,13 +37,18 @@ namespace xp::crashmc {
 // lane-retire store in Tx::commit (Pool::TestFault::kSkipCommitFlush) so
 // negative tests can prove the harness catches a real protocol bug.
 std::unique_ptr<Target> make_pmemlib_target(bool inject_commit_fault = false);
+// `wal_checksum` turns on per-record WAL CRCs (detects torn/garbage WAL
+// bytes, not just poison); used by the fault campaign.
 std::unique_ptr<Target> make_lsmkv_target(
-    kv::WalMode mode = kv::WalMode::kFlex);
-std::unique_ptr<Target> make_novafs_target();
+    kv::WalMode mode = kv::WalMode::kFlex, bool wal_checksum = false);
+// `log_checksum` appends per-entry CRC footers to the inode logs.
+std::unique_ptr<Target> make_novafs_target(bool log_checksum = false);
 std::unique_ptr<Target> make_cmap_target();
 std::unique_ptr<Target> make_stree_target();
 
 // The standard panel: pmemlib, lsmkv (FLEX WAL), novafs, cmap, stree.
-std::vector<std::unique_ptr<Target>> all_targets();
+// `checksums` enables the WAL/log CRC options on the stores that have
+// them (the fault campaign's configuration).
+std::vector<std::unique_ptr<Target>> all_targets(bool checksums = false);
 
 }  // namespace xp::crashmc

@@ -18,6 +18,11 @@ void Db::store_manifest(sim::ThreadCtx& ctx, pmem::Tx& tx,
   tx.store(root_off_, std::span<const std::uint8_t>(
                           reinterpret_cast<const std::uint8_t*>(&m),
                           sizeof(m)));
+  // Mirror into the fixed backup slot. Management-path write (untimed):
+  // the mirror models firmware-level redundancy, not a data-path store.
+  pool_.ns().poke(kManifestBackupOff,
+                  std::span<const std::uint8_t>(
+                      reinterpret_cast<const std::uint8_t*>(&m), sizeof(m)));
   (void)ctx;
 }
 
@@ -32,6 +37,7 @@ void Db::create(sim::ThreadCtx& ctx) {
   Manifest m{};
   m.wal_mode = static_cast<std::uint32_t>(opts_.wal);
   m.memtable_mode = static_cast<std::uint32_t>(opts_.memtable);
+  m.flags = opts_.wal_checksum ? 1u : 0u;
   if (opts_.wal != WalMode::kNone) {
     m.wal_base = pool_.alloc_raw(ctx, opts_.wal_capacity);
     m.wal_capacity = opts_.wal_capacity;
@@ -39,6 +45,9 @@ void Db::create(sim::ThreadCtx& ctx) {
   if (opts_.memtable == MemtableMode::kPersistent) {
     m.pskiplist_root = pool_.alloc_raw(ctx, 64);
   }
+  pool_.ns().poke(kManifestBackupOff,
+                  std::span<const std::uint8_t>(
+                      reinterpret_cast<const std::uint8_t*>(&m), sizeof(m)));
   pmem::store_persist_pod(ctx, pool_.ns(), root_off_, m);
 
   if (opts_.wal != WalMode::kNone) {
@@ -53,19 +62,61 @@ void Db::create(sim::ThreadCtx& ctx) {
 }
 
 bool Db::open(sim::ThreadCtx& ctx) {
+  recovery_ = RecoveryInfo{};
   if (!pool_.open(ctx)) return false;
   root_off_ = pool_.root(ctx);
-  const Manifest m = load_manifest(ctx);
+  Manifest m{};
+  try {
+    m = load_manifest(ctx);
+  } catch (const hw::MediaError&) {
+    // Primary manifest unreadable: fall back to the mirrored copy, scrub
+    // the damage and rewrite the primary. The backup always holds a
+    // committed manifest (it is mirrored inside store_manifest, whose
+    // primary write is transactional).
+    pool_.ns().peek(kManifestBackupOff,
+                    std::span<std::uint8_t>(
+                        reinterpret_cast<std::uint8_t*>(&m), sizeof(m)));
+    if (m.wal_mode > static_cast<std::uint32_t>(WalMode::kFlex) ||
+        m.n_l0 > kMaxL0 || m.n_l1 > kMaxL1)
+      return false;  // backup is not a manifest either
+    for (const std::uint64_t bad : pool_.ns().platform().ars(
+             pool_.ns(), root_off_, sizeof(Manifest)))
+      pool_.scrub_line(ctx, bad);
+    pmem::store_persist_pod(ctx, pool_.ns(), root_off_, m);
+    recovery_.manifest_restored = true;
+    recovery_.detail = "manifest restored from backup copy";
+  }
   opts_.wal = static_cast<WalMode>(m.wal_mode);
   opts_.memtable = static_cast<MemtableMode>(m.memtable_mode);
+  opts_.wal_checksum = (m.flags & 1u) != 0;
 
   memtable_.clear();
   if (opts_.wal != WalMode::kNone) {
     wal_ = std::make_unique<Wal>(pool_.ns(), m.wal_base, m.wal_capacity,
                                  opts_.wal, opts_);
-    wal_->replay(ctx, [&](std::string_view k, std::string_view v, bool tomb) {
-      memtable_.put(ctx, k, v, tomb);
-    });
+    const Wal::ReplayResult r =
+        wal_->replay(ctx, [&](std::string_view k, std::string_view v,
+                              bool tomb) { memtable_.put(ctx, k, v, tomb); });
+    if (r.damaged) {
+      // Truncate at the damage point. Records replayed before it are made
+      // durable again by flushing to an SSTable; records after it are
+      // unrecoverable and reported, not silently absorbed.
+      recovery_.wal_damaged = true;
+      recovery_.wal_damage_off = r.damage_off;
+      recovery_.wal_records_replayed = r.records;
+      recovery_.detail = r.reason;
+      if (pool_.recovery().heap_sealed) {
+        // No allocation possible: keep the replayed records in the
+        // memtable (still served) and flag that they are volatile-only.
+        recovery_.wal_flush_skipped = true;
+      } else {
+        flush(ctx);
+      }
+      for (const std::uint64_t bad :
+           pool_.ns().platform().ars(pool_.ns(), m.wal_base, m.wal_capacity))
+        pool_.scrub_line(ctx, bad);
+      wal_->truncate(ctx);
+    }
   }
   if (opts_.memtable == MemtableMode::kPersistent) {
     pskip_ = std::make_unique<PSkiplist>(pool_, m.pskiplist_root);
@@ -165,9 +216,18 @@ std::vector<std::pair<std::string, std::string>> Db::scan(
   return out;
 }
 
-std::string Db::check(sim::ThreadCtx& ctx) {
-  if (std::string err = pool_.check(ctx); !err.empty()) return "pool: " + err;
+Status Db::check(sim::ThreadCtx& ctx) {
+  try {
+    if (Status s = pool_.check(ctx); !s.ok()) return s;
+    const std::string err = check_impl(ctx);
+    if (err.empty()) return Status::Ok();
+    return Status::Corruption(err);
+  } catch (const hw::MediaError& e) {
+    return Status::MediaFault(e.what());
+  }
+}
 
+std::string Db::check_impl(sim::ThreadCtx& ctx) {
   const Manifest m = load_manifest(ctx);
   if (m.wal_mode > static_cast<std::uint32_t>(WalMode::kNone))
     return "manifest: bad wal_mode " + std::to_string(m.wal_mode);
@@ -190,6 +250,8 @@ std::string Db::check(sim::ThreadCtx& ctx) {
       return tag + ": ref outside allocated heap";
     if (SsTable::size_bytes(ctx, pool_.ns(), t.off) > t.size)
       return tag + ": encoded size exceeds allocation";
+    if (Status s = SsTable::verify_checksum(ctx, pool_.ns(), t.off); !s.ok())
+      return tag + ": " + s.to_string();
     std::string prev;
     std::string err;
     bool first = true;
@@ -210,6 +272,45 @@ std::string Db::check(sim::ThreadCtx& ctx) {
     if (std::string err = check_table("l1", i, m.l1[i]); !err.empty())
       return err;
   return "";
+}
+
+void Db::repair(sim::ThreadCtx& ctx) {
+  Manifest m = load_manifest(ctx);
+  Manifest out = m;
+  out.n_l0 = 0;
+  out.n_l1 = 0;
+  std::vector<TableRef> bad;
+  auto sift = [&](const char* level, std::uint32_t i, const TableRef& t,
+                  TableRef* keep, std::uint32_t* nkeep) {
+    if (SsTable::verify_checksum(ctx, pool_.ns(), t.off).ok()) {
+      keep[(*nkeep)++] = t;
+    } else {
+      recovery_.tables_quarantined.push_back(
+          std::string(level) + "[" + std::to_string(i) + "]");
+      bad.push_back(t);
+    }
+  };
+  for (std::uint32_t i = 0; i < m.n_l0; ++i)
+    sift("l0", i, m.l0[i], out.l0, &out.n_l0);
+  for (std::uint32_t i = 0; i < m.n_l1; ++i)
+    sift("l1", i, m.l1[i], out.l1, &out.n_l1);
+
+  if (!bad.empty()) {
+    // Drop the quarantined refs first — only then is it safe to scrub,
+    // because scrubbing turns a table's poison into zeros a reader would
+    // otherwise happily parse.
+    pmem::Tx tx(pool_, ctx);
+    store_manifest(ctx, tx, out);
+    tx.commit();
+  }
+  pool_.repair(ctx);
+  if (!bad.empty() && !pool_.recovery().heap_sealed) {
+    pmem::Tx tx(pool_, ctx);
+    for (const TableRef& t : bad) pool_.tx_free(tx, t.off, t.size);
+    tx.commit();
+  }
+  // (Sealed heap: quarantined allocations leak, which is already reported
+  // through recovery().tables_quarantined + the pool's heap_sealed flag.)
 }
 
 void Db::maybe_flush(sim::ThreadCtx& ctx) {

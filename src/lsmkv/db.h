@@ -24,6 +24,7 @@
 #include "lsmkv/sstable.h"
 #include "lsmkv/wal.h"
 #include "pmemlib/pool.h"
+#include "sim/status.h"
 
 namespace xp::kv {
 
@@ -41,7 +42,34 @@ class Db {
   // Open after a restart/crash: recovers the pool, reloads the manifest,
   // replays the WAL (or re-adopts the persistent memtable). Returns false
   // if the namespace holds no database.
+  //
+  // Media-error tolerant: a WAL that stops replaying (poison or checksum
+  // failure) is truncated at the damage point — records before it are
+  // flushed to an SSTable (unless the pool's heap is sealed), records
+  // after it are reported lost via recovery(), never silently dropped.
   bool open(sim::ThreadCtx& ctx);
+
+  // What open()/repair() had to do about damaged media.
+  struct RecoveryInfo {
+    bool manifest_restored = false;  // primary manifest rebuilt from backup
+    bool wal_damaged = false;
+    std::uint64_t wal_damage_off = 0;     // WAL-relative damage point
+    std::uint64_t wal_records_replayed = 0;
+    bool wal_flush_skipped = false;  // heap sealed: replayed records are
+                                     // served but not yet re-persisted
+    std::vector<std::string> tables_quarantined;  // e.g. "l0[2]"
+    std::string detail;
+    bool damaged() const {
+      return manifest_restored || wal_damaged || !tables_quarantined.empty();
+    }
+  };
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  // Verify every referenced SSTable's content checksum; quarantine (drop
+  // from the manifest, transactionally) any that fail, then scrub all
+  // remaining poison in the namespace. Quarantined data is gone — the
+  // point is that reads after repair() never return garbage for it.
+  void repair(sim::ThreadCtx& ctx);
 
   void put(sim::ThreadCtx& ctx, std::string_view key, std::string_view value);
   void del(sim::ThreadCtx& ctx, std::string_view key);
@@ -52,9 +80,9 @@ class Db {
 
   // Recovery invariants (crashmc checker entry point). Call after open():
   // validates pool metadata, the manifest (modes, run counts, table refs
-  // inside the allocated heap) and that every referenced SSTable is
-  // iterable with strictly increasing keys. Returns "" when all hold.
-  std::string check(sim::ThreadCtx& ctx);
+  // inside the allocated heap) and that every referenced SSTable passes
+  // its content checksum and is iterable with strictly increasing keys.
+  Status check(sim::ThreadCtx& ctx);
 
   // Range scan: up to `max_results` live key/value pairs with
   // key >= start_key, in key order, newest version winning and
@@ -76,6 +104,8 @@ class Db {
   struct Manifest {
     std::uint32_t wal_mode;
     std::uint32_t memtable_mode;
+    std::uint32_t flags;  // bit 0: WAL records carry checksums
+    std::uint32_t reserved;
     std::uint64_t wal_base;
     std::uint64_t wal_capacity;
     std::uint64_t pskiplist_root;  // pool offset of the head pointer slot
@@ -84,9 +114,16 @@ class Db {
     TableRef l0[kMaxL0];  // oldest first
     TableRef l1[kMaxL1];
   };
+  // Redundant manifest copy in the pool's reserved region (between the
+  // backup pool header at 2048+56 and the lanes at 4096); the manifest is
+  // the only route to every table, so its primary line going bad must not
+  // take the database with it. Mirrored on every manifest store.
+  static constexpr std::uint64_t kManifestBackupOff = 2560;
+  static_assert(sizeof(Manifest) <= 4096 - kManifestBackupOff);
 
   void write_record(sim::ThreadCtx& ctx, std::string_view key,
                     std::string_view value, bool tombstone);
+  std::string check_impl(sim::ThreadCtx& ctx);
   void maybe_flush(sim::ThreadCtx& ctx);
   void compact(sim::ThreadCtx& ctx, Manifest m);
   Manifest load_manifest(sim::ThreadCtx& ctx);
@@ -100,6 +137,7 @@ class Db {
   std::uint64_t root_off_ = 0;
   std::uint64_t pskip_bytes_ = 0;  // approximate, rebuilt on open
   DbStats stats_;
+  RecoveryInfo recovery_;
 };
 
 }  // namespace xp::kv

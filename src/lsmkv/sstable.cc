@@ -1,9 +1,11 @@
 #include "lsmkv/sstable.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
 #include "lsmkv/bloom.h"
+#include "sim/crc32.h"
 
 namespace xp::kv {
 
@@ -27,7 +29,6 @@ std::uint64_t SsTable::build(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
   Header h{kMagic, static_cast<std::uint32_t>(entries.size()),
            static_cast<std::uint32_t>(total),
            static_cast<std::uint32_t>(bloom.bits().size()), 0};
-  std::memcpy(buf.data(), &h, sizeof(h));
   std::memcpy(buf.data() + sizeof(Header), bloom.bits().data(),
               bloom.bits().size());
 
@@ -49,6 +50,8 @@ std::uint64_t SsTable::build(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
     pos += 8 + e.key.size() + e.value.size();
   }
   assert(pos == total);
+  h.crc = sim::crc32c(buf.data() + sizeof(Header), total - sizeof(Header));
+  std::memcpy(buf.data(), &h, sizeof(h));
 
   // One big sequential non-temporal write (chunked to bound scheduler-step
   // atomicity), then a fence.
@@ -60,6 +63,33 @@ std::uint64_t SsTable::build(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
   }
   ns.sfence(ctx);
   return total;
+}
+
+Status SsTable::verify_checksum(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                                std::uint64_t off) {
+  Header h{};
+  try {
+    h = ns.load_pod<Header>(ctx, off);
+  } catch (const hw::MediaError& e) {
+    return Status::MediaFault(e.what());
+  }
+  if (h.magic != kMagic) return Status::Corruption("sstable: bad magic");
+  if (h.total_bytes < sizeof(Header))
+    return Status::Corruption("sstable: total_bytes smaller than header");
+  std::uint32_t crc = 0;
+  constexpr std::size_t kChunk = 4096;
+  std::vector<std::uint8_t> buf(kChunk);
+  try {
+    for (std::uint64_t p = sizeof(Header); p < h.total_bytes; p += kChunk) {
+      const std::size_t n = std::min<std::uint64_t>(kChunk, h.total_bytes - p);
+      ns.load(ctx, off + p, std::span<std::uint8_t>(buf.data(), n));
+      crc = sim::crc32c(buf.data(), n, crc);
+    }
+  } catch (const hw::MediaError& e) {
+    return Status::MediaFault(e.what());
+  }
+  if (crc != h.crc) return Status::Corruption("sstable: content crc mismatch");
+  return Status::Ok();
 }
 
 std::uint32_t SsTable::count(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "lsmkv/memtable.h"  // FindResult
+#include "sim/status.h"
 #include "xpsim/platform.h"
 
 namespace xp::kv {
@@ -45,6 +46,12 @@ class SsTable {
                         std::uint64_t off, std::string_view key,
                         std::string* value);
 
+  // Re-reads the whole table and verifies its content CRC (stored in the
+  // header at build time). Distinguishes unreadable media (kMediaError)
+  // from readable-but-wrong bytes (kCorruption).
+  static Status verify_checksum(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                                std::uint64_t off);
+
   static std::uint32_t count(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
                              std::uint64_t off);
   static std::uint64_t size_bytes(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
@@ -62,7 +69,7 @@ class SsTable {
     std::uint32_t count;
     std::uint32_t total_bytes;
     std::uint32_t filter_len;
-    std::uint32_t pad;
+    std::uint32_t crc;  // CRC32C over everything after the header
   };
   static constexpr std::uint32_t kTombstoneBit = 0x80000000u;
 };

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "sim/crc32.h"
+
 namespace xp::kv {
 
 void Wal::write_bytes(ThreadCtx& ctx, std::uint64_t off,
@@ -25,18 +27,26 @@ void Wal::append(ThreadCtx& ctx, std::string_view key, std::string_view value,
       kTagMagic | static_cast<std::uint32_t>(key.size());
   const std::uint32_t vlen = static_cast<std::uint32_t>(value.size()) |
                              (tombstone ? kTombstoneBit : 0);
-  const std::size_t rec_len = 8 + key.size() + value.size();
+  const std::size_t hdr_len = opts_.wal_checksum ? 12 : 8;
+  const std::size_t rec_len = hdr_len + key.size() + value.size();
   assert(tail_ + rec_len + 8 <= capacity_ && "WAL full; truncate first");
 
   if (mode_ == WalMode::kPosix) ctx.advance_by(opts_.syscall);
 
-  // Payload first (vlen + key + value), then the tag makes it valid.
+  // Payload first (vlen [+ crc] + key + value), then the tag makes it
+  // valid.
   std::vector<std::uint8_t> buf(rec_len);
   std::memcpy(buf.data(), &tag, 4);
   std::memcpy(buf.data() + 4, &vlen, 4);
-  std::memcpy(buf.data() + 8, key.data(), key.size());
+  std::memcpy(buf.data() + hdr_len, key.data(), key.size());
   if (!value.empty())  // tombstones carry a null, zero-length value view
-    std::memcpy(buf.data() + 8 + key.size(), value.data(), value.size());
+    std::memcpy(buf.data() + hdr_len + key.size(), value.data(),
+                value.size());
+  if (opts_.wal_checksum) {
+    std::uint32_t crc = sim::crc32c(buf.data(), 8);
+    crc = sim::crc32c(buf.data() + hdr_len, rec_len - hdr_len, crc);
+    std::memcpy(buf.data() + 8, &crc, 4);
+  }
 
   const std::uint64_t at = base_ + tail_;
   // Terminator after the record, then payload, then the tag makes the
@@ -69,31 +79,52 @@ void Wal::truncate(ThreadCtx& ctx) {
   tail_ = 0;
 }
 
-std::uint64_t Wal::replay(ThreadCtx& ctx, const ReplayFn& fn) {
+Wal::ReplayResult Wal::replay(ThreadCtx& ctx, const ReplayFn& fn) {
+  const std::uint64_t hdr_len = opts_.wal_checksum ? 12 : 8;
+  ReplayResult r;
   std::uint64_t pos = 0;
-  std::uint64_t count = 0;
-  while (pos + 8 <= capacity_) {
-    const auto tag = ns_.load_pod<std::uint32_t>(ctx, base_ + pos);
-    if ((tag & 0xFFFF0000u) != kTagMagic) break;
-    const std::uint32_t klen = tag & 0xFFFFu;
-    const auto vraw = ns_.load_pod<std::uint32_t>(ctx, base_ + pos + 4);
-    const bool tombstone = (vraw & kTombstoneBit) != 0;
-    const std::uint32_t vlen = vraw & ~kTombstoneBit;
-    if (pos + 8 + klen + vlen > capacity_) break;
-    std::string key(klen, '\0');
-    std::string value(vlen, '\0');
-    ns_.load(ctx, base_ + pos + 8,
-             std::span<std::uint8_t>(
-                 reinterpret_cast<std::uint8_t*>(key.data()), klen));
-    ns_.load(ctx, base_ + pos + 8 + klen,
-             std::span<std::uint8_t>(
-                 reinterpret_cast<std::uint8_t*>(value.data()), vlen));
-    fn(key, value, tombstone);
-    pos += 8 + klen + vlen;
-    ++count;
+  try {
+    while (pos + hdr_len <= capacity_) {
+      const auto tag = ns_.load_pod<std::uint32_t>(ctx, base_ + pos);
+      if ((tag & 0xFFFF0000u) != kTagMagic) break;
+      const std::uint32_t klen = tag & 0xFFFFu;
+      const auto vraw = ns_.load_pod<std::uint32_t>(ctx, base_ + pos + 4);
+      const bool tombstone = (vraw & kTombstoneBit) != 0;
+      const std::uint32_t vlen = vraw & ~kTombstoneBit;
+      if (pos + hdr_len + klen + vlen > capacity_) break;
+      std::string key(klen, '\0');
+      std::string value(vlen, '\0');
+      ns_.load(ctx, base_ + pos + hdr_len,
+               std::span<std::uint8_t>(
+                   reinterpret_cast<std::uint8_t*>(key.data()), klen));
+      ns_.load(ctx, base_ + pos + hdr_len + klen,
+               std::span<std::uint8_t>(
+                   reinterpret_cast<std::uint8_t*>(value.data()), vlen));
+      if (opts_.wal_checksum) {
+        const auto stored =
+            ns_.load_pod<std::uint32_t>(ctx, base_ + pos + 8);
+        std::uint32_t crc = sim::crc32c(&tag, 4);
+        crc = sim::crc32c(&vraw, 4, crc);
+        crc = sim::crc32c(key.data(), klen, crc);
+        crc = sim::crc32c(value.data(), vlen, crc);
+        if (crc != stored) {
+          r.damaged = true;
+          r.damage_off = pos;
+          r.reason = "wal: record crc mismatch at +" + std::to_string(pos);
+          break;
+        }
+      }
+      fn(key, value, tombstone);
+      pos += hdr_len + klen + vlen;
+      ++r.records;
+    }
+  } catch (const hw::MediaError& e) {
+    r.damaged = true;
+    r.damage_off = pos;
+    r.reason = e.what();
   }
   tail_ = pos;
-  return count;
+  return r;
 }
 
 }  // namespace xp::kv

@@ -10,8 +10,11 @@
 //
 // Record format: [u32 tag | u32 vlen | key bytes | value bytes], where
 // tag = kTagMagic | klen (klen < 64 Ki). vlen's top bit marks tombstones.
-// The payload is persisted before the tag, so a torn append is invisible
-// to recovery.
+// With DbOptions::wal_checksum a u32 CRC32C (over tag+vlen+key+value) sits
+// between vlen and the key. The payload is persisted before the tag, so a
+// torn append is invisible to recovery; a checksum mismatch or an
+// uncorrectable media error stops replay at the damage point and is
+// reported to the caller instead of feeding garbage into the memtable.
 #pragma once
 
 #include <cstdint>
@@ -48,11 +51,22 @@ class Wal {
   // dead). Writes a fresh terminator at the start.
   void truncate(ThreadCtx& ctx);
 
-  // Replay every intact record from the start, in order.
+  // Replay every intact record from the start, in order. Stops (with
+  // damaged=true) at the first record whose media is unreadable or whose
+  // checksum fails; records already delivered to `fn` stay delivered.
   using ReplayFn = std::function<void(std::string_view key,
                                       std::string_view value,
                                       bool tombstone)>;
-  std::uint64_t replay(ThreadCtx& ctx, const ReplayFn& fn);
+  struct ReplayResult {
+    std::uint64_t records = 0;
+    bool damaged = false;
+    std::uint64_t damage_off = 0;  // relative to base, where replay stopped
+    std::string reason;
+  };
+  ReplayResult replay(ThreadCtx& ctx, const ReplayFn& fn);
+
+  std::uint64_t base() const { return base_; }
+  std::uint64_t capacity() const { return capacity_; }
 
   std::uint64_t tail() const { return tail_; }
   std::uint64_t bytes_appended() const { return bytes_appended_; }

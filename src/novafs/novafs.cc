@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <set>
 
 #include "pmemlib/pmem_ops.h"
+#include "sim/crc32.h"
 
 namespace xp::nova {
 
@@ -31,7 +33,11 @@ void NovaFs::format(ThreadCtx& ctx) {
   }
   ns_.sfence(ctx);
   Super s{kMagic, ns_.size(), 4096, data_start_};
+  // Backup copy via the management path (untimed — formatting costs what
+  // it did without it), primary last so a torn format has no valid super.
+  ns_.poke(kSuperBackupOff, bytes_of(&s, sizeof(s)));
   ns_.ntstore_persist(ctx, 0, bytes_of(&s, sizeof(s)));
+  recovery_ = RecoveryInfo{};
 
   // DRAM state.
   inodes_.assign(kMaxInodes, DInode{});
@@ -50,8 +56,28 @@ void NovaFs::format(ThreadCtx& ctx) {
 }
 
 bool NovaFs::mount(ThreadCtx& ctx) {
-  const auto s = ns_.load_pod<Super>(ctx, 0);
-  if (s.magic != kMagic || s.fs_size != ns_.size()) return false;
+  recovery_ = RecoveryInfo{};
+  Super s{};
+  bool primary_ok = false;
+  try {
+    s = ns_.load_pod<Super>(ctx, 0);
+    primary_ok = s.magic == kMagic && s.fs_size == ns_.size();
+  } catch (const hw::MediaError&) {
+    primary_ok = false;
+  }
+  if (!primary_ok) {
+    Super b{};
+    try {
+      b = ns_.load_pod<Super>(ctx, kSuperBackupOff);
+    } catch (const hw::MediaError&) {
+      return false;  // both copies unreadable: not a mountable fs
+    }
+    if (b.magic != kMagic || b.fs_size != ns_.size()) return false;
+    s = b;
+    scrub_line(ctx, 0);
+    ns_.store_persist(ctx, 0, bytes_of(&s, sizeof(s)));
+    recovery_.super_restored = true;
+  }
   data_start_ = s.data_start;
 
   inodes_.assign(kMaxInodes, DInode{});
@@ -63,7 +89,21 @@ bool NovaFs::mount(ThreadCtx& ctx) {
   // and the directory).
   std::vector<bool> page_used((ns_.size() - data_start_) / kPage, false);
   for (unsigned ino = 0; ino < kMaxInodes; ++ino) {
-    const auto pi = ns_.load_pod<PInode>(ctx, inode_off(ino));
+    PInode pi{};
+    try {
+      pi = ns_.load_pod<PInode>(ctx, inode_off(ino));
+    } catch (const hw::MediaError& e) {
+      // The inode-table line is gone, and with it every inode on it
+      // (poison granularity is the 256 B line, which holds 4 PInodes).
+      // Scrub it — subsequent loads in this loop read zeros and skip.
+      const std::uint64_t line = inode_off(ino) & ~std::uint64_t{255};
+      scrub_line(ctx, line);
+      for (std::uint64_t o = line; o < line + 256; o += sizeof(PInode))
+        recovery_.inodes_lost.push_back(
+            static_cast<unsigned>((o - 4096) / sizeof(PInode)));
+      recovery_.detail = e.what();
+      continue;
+    }
     if (pi.in_use == 0) continue;
     DInode& di = inodes_[ino];
     di.in_use = true;
@@ -78,11 +118,48 @@ bool NovaFs::mount(ThreadCtx& ctx) {
       if (ps.page_off != 0) mark(ps.page_off);
       for (const Embed& e : ps.overlays) mark(e.data_off / kPage * kPage);
     }
-    for (std::uint64_t lp = di.log_head; lp != 0;) {
-      mark(lp);
-      lp = ns_.load_pod<std::uint64_t>(ctx, lp);
+    try {
+      for (std::uint64_t lp = di.log_head; lp != 0;) {
+        mark(lp);
+        lp = ns_.load_pod<std::uint64_t>(ctx, lp);
+      }
+    } catch (const hw::MediaError&) {
+      // A link beyond the replayed (truncated) portion is unreadable; the
+      // unreachable tail pages stay unmarked and return to the free pool.
+      if (recovery_.logs_truncated.empty() ||
+          recovery_.logs_truncated.back() != ino)
+        recovery_.logs_truncated.push_back(ino);
     }
   }
+
+  // Dirents can name inodes whose table line was lost: drop them (and
+  // report), rather than serving a zeroed inode as an empty file.
+  if (!recovery_.inodes_lost.empty()) {
+    const std::set<unsigned> lost(recovery_.inodes_lost.begin(),
+                                  recovery_.inodes_lost.end());
+    for (auto it = namei_.begin(); it != namei_.end();) {
+      if (lost.count(static_cast<unsigned>(it->second)) != 0) {
+        recovery_.dirents_dropped.push_back(it->first);
+        inodes_[static_cast<unsigned>(it->second)] = DInode{};
+        it = namei_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Damaged mounts scrub every bad line *outside* live pages now, so the
+  // allocator can never hand out a page that still bites. Bad lines
+  // inside live data stay poisoned (reads raise MediaError) until
+  // repair() excises them.
+  if (recovery_.damaged()) {
+    for (const std::uint64_t bad : ns_.platform().ars(ns_, 0, ns_.size())) {
+      const bool live = bad >= data_start_ &&
+                        page_used[(bad - data_start_) / kPage];
+      if (!live) scrub_line(ctx, bad);
+    }
+  }
+
   // Pass 2: rebuild the free-page pool.
   for (std::size_t i = page_used.size(); i-- > 0;) {
     if (!page_used[i]) free_page(data_start_ + i * kPage);
@@ -133,7 +210,7 @@ std::uint64_t NovaFs::log_append(ThreadCtx& ctx, unsigned ino,
                                  std::span<const std::uint8_t> payload) {
   DInode& di = inodes_[ino];
   const std::uint32_t total = e.total_len;
-  assert(total == ((sizeof(LogEntry) + payload.size() + 7) / 8) * 8);
+  assert(total == entry_len(payload.size()));
   assert(total + kLogDataStart + 8 <= kPage && "entry too large for a page");
 
   auto page_end = [&](std::uint64_t pos) {
@@ -176,6 +253,10 @@ std::uint64_t NovaFs::log_append(ThreadCtx& ctx, unsigned ino,
   std::memcpy(buf.data(), &e, sizeof(e));
   if (!payload.empty())
     std::memcpy(buf.data() + sizeof(e), payload.data(), payload.size());
+  if (opt_.log_checksum) {
+    const std::uint32_t crc = sim::crc32c(buf.data(), total - 8);
+    std::memcpy(buf.data() + total - 8, &crc, 4);
+  }
   const std::uint32_t zero = 0;
   ns_.store_flush(ctx, at + total, bytes_of(&zero, 4));
   ns_.store_flush(ctx, at + 4,
@@ -198,26 +279,71 @@ void NovaFs::replay_inode(ThreadCtx& ctx, unsigned ino) {
   if (di.log_head == 0) return;
   di.log_page_count = 1;
   std::uint64_t pos = di.log_head + kLogDataStart;
-  while (true) {
-    const auto e = ns_.load_pod<LogEntry>(ctx, pos);
-    if ((e.magic_type & 0xFFFF0000u) != kEntryMagic) break;  // end of log
-    const std::uint32_t type = e.magic_type & 0xFFFFu;
-    if (type == kEndOfPage) {
-      const std::uint64_t page = pos / kPage * kPage;
-      const auto next = ns_.load_pod<std::uint64_t>(ctx, page);
-      // A crash between the end-of-page marker persist and the old page's
-      // next-pointer persist durably leaves next == 0: the entry that
-      // needed the new page was never acknowledged, so this is simply the
-      // end of the log.
-      if (next == 0) break;
-      pos = next + kLogDataStart;
-      ++di.log_page_count;
-      continue;
+  try {
+    while (true) {
+      const auto e = ns_.load_pod<LogEntry>(ctx, pos);
+      if ((e.magic_type & 0xFFFF0000u) != kEntryMagic) break;  // end of log
+      const std::uint32_t type = e.magic_type & 0xFFFFu;
+      if (type == kEndOfPage) {
+        const std::uint64_t page = pos / kPage * kPage;
+        const auto next = ns_.load_pod<std::uint64_t>(ctx, page);
+        // A crash between the end-of-page marker persist and the old
+        // page's next-pointer persist durably leaves next == 0: the entry
+        // that needed the new page was never acknowledged, so this is
+        // simply the end of the log.
+        if (next == 0) break;
+        pos = next + kLogDataStart;
+        ++di.log_page_count;
+        continue;
+      }
+      if (opt_.log_checksum && !entry_crc_ok(ctx, pos, e)) {
+        truncate_log_at(ctx, ino, pos, "log entry crc mismatch");
+        return;
+      }
+      apply_entry(ctx, ino, pos, e, /*during_replay=*/true);
+      pos += e.total_len;
     }
-    apply_entry(ctx, ino, pos, e, /*during_replay=*/true);
-    pos += e.total_len;
+  } catch (const hw::MediaError& e) {
+    truncate_log_at(ctx, ino, pos, e.what());
+    return;
   }
   di.log_tail = pos;
+}
+
+bool NovaFs::entry_crc_ok(ThreadCtx& ctx, std::uint64_t pos,
+                          const LogEntry& e) {
+  if (e.total_len < sizeof(LogEntry) + 8 ||
+      pos % kPage + e.total_len + 8 > kPage)
+    return false;
+  std::vector<std::uint8_t> buf(e.total_len - 8);
+  ns_.load(ctx, pos, buf);
+  const auto stored =
+      ns_.load_pod<std::uint32_t>(ctx, pos + e.total_len - 8);
+  return sim::crc32c(buf.data(), buf.size()) == stored;
+}
+
+void NovaFs::scrub_line(ThreadCtx& ctx, std::uint64_t line_off) {
+  line_off &= ~(hw::Platform::kXpLineBytes - 1);
+  const std::uint8_t zeros[hw::Platform::kXpLineBytes] = {};
+  ns_.ntstore_persist(ctx, line_off, zeros);
+  recovery_.scrubbed_lines.push_back(line_off);
+}
+
+void NovaFs::truncate_log_at(ThreadCtx& ctx, unsigned ino,
+                             std::uint64_t pos, const std::string& why) {
+  // Scrub the damaged page so the terminator store below can't fault,
+  // then end the log durably at the damage point. Entries past it were
+  // committed once — their loss is reported, not hidden.
+  const std::uint64_t page = pos / kPage * kPage;
+  for (const std::uint64_t bad : ns_.platform().ars(ns_, page, kPage))
+    scrub_line(ctx, bad);
+  const std::uint32_t zero = 0;
+  ns_.store_persist(ctx, pos, bytes_of(&zero, 4));
+  inodes_[ino].log_tail = pos;
+  pmem::store_persist_pod(ctx, ns_,
+                          inode_off(ino) + offsetof(PInode, log_tail), pos);
+  recovery_.logs_truncated.push_back(ino);
+  recovery_.detail = why;
 }
 
 void NovaFs::apply_entry(ThreadCtx& ctx, unsigned ino,
@@ -322,8 +448,7 @@ std::uint64_t NovaFs::append_dirent(ThreadCtx& ctx, EntryType type,
   std::memcpy(payload.data() + 8, name.data(), name.size());
   LogEntry e{};
   e.magic_type = kEntryMagic | type;
-  e.total_len = static_cast<std::uint32_t>(
-      (sizeof(LogEntry) + payload.size() + 7) / 8 * 8);
+  e.total_len = entry_len(payload.size());
   return log_append(ctx, 0, e, payload);
 }
 
@@ -371,7 +496,7 @@ void NovaFs::truncate(ThreadCtx& ctx, int ino_s, std::uint64_t new_size) {
   }
   LogEntry e{};
   e.magic_type = kEntryMagic | kSetSize;
-  e.total_len = sizeof(LogEntry);
+  e.total_len = entry_len(0);
   e.new_size = new_size;
   const std::uint64_t at = log_append(ctx, ino, e, {});
   apply_entry(ctx, ino, at, e, /*during_replay=*/false);
@@ -400,7 +525,7 @@ void NovaFs::cow_page(ThreadCtx& ctx, unsigned ino, std::uint64_t page_idx,
 
   LogEntry e{};
   e.magic_type = kEntryMagic | kWrite;
-  e.total_len = sizeof(LogEntry);
+  e.total_len = entry_len(0);
   e.foff = page_idx * kPage;
   e.page = np;
   e.new_size = std::max<std::uint64_t>(
@@ -432,8 +557,7 @@ void NovaFs::write(ThreadCtx& ctx, int ino_s, std::uint64_t off,
       // Embedded write entry: data rides in the log (Fig 11).
       LogEntry e{};
       e.magic_type = kEntryMagic | kEmbed;
-      e.total_len = static_cast<std::uint32_t>(
-          (sizeof(LogEntry) + n + 7) / 8 * 8);
+      e.total_len = entry_len(n);
       e.foff = foff;
       e.page = n;  // exact payload length
       e.new_size = std::max(di.size, foff + n);
@@ -537,7 +661,7 @@ void NovaFs::clean_log(ThreadCtx& ctx, unsigned ino) {
     if (ps.page_off == 0) continue;
     LogEntry e{};
     e.magic_type = kEntryMagic | kWrite;
-    e.total_len = sizeof(LogEntry);
+    e.total_len = entry_len(0);
     e.foff = idx * kPage;
     e.page = ps.page_off;
     e.new_size = di.size;
@@ -550,7 +674,111 @@ void NovaFs::clean_log(ThreadCtx& ctx, unsigned ino) {
   for (std::uint64_t lp : old_pages) free_page(lp);
 }
 
-std::string NovaFs::fsck(ThreadCtx& ctx) {
+void NovaFs::rebuild_dir_log(ThreadCtx& ctx) {
+  // Directory analogue of clean_log(): re-emit a dirent per live name
+  // into a fresh chain, switch the head atomically, free the old pages.
+  DInode& di = inodes_[0];
+  std::vector<std::uint64_t> old_pages;
+  try {
+    for (std::uint64_t lp = di.log_head; lp != 0;) {
+      old_pages.push_back(lp);
+      lp = ns_.load_pod<std::uint64_t>(ctx, lp);
+    }
+  } catch (const hw::MediaError&) {
+    // Unreachable tail: reclaimed by the next mount's scan instead.
+  }
+  di.log_head = 0;
+  di.log_tail = 0;
+  di.log_page_count = 0;
+  suppress_head_persist_ = true;
+  for (const auto& [name, ino] : namei_)
+    append_dirent(ctx, kDirent, static_cast<unsigned>(ino), name);
+  suppress_head_persist_ = false;
+  pmem::store_persist_pod(ctx, ns_,
+                          inode_off(0) + offsetof(PInode, log_head),
+                          di.log_head);
+  for (const std::uint64_t lp : old_pages) free_page(lp);
+}
+
+void NovaFs::repair(ThreadCtx& ctx) {
+  const auto bad = ns_.platform().ars(ns_, 0, ns_.size());
+  if (bad.empty()) return;
+  const std::set<std::uint64_t> bad_lines(bad.begin(), bad.end());
+  std::set<std::uint64_t> bad_pages;
+  for (const std::uint64_t b : bad)
+    if (b >= data_start_) bad_pages.insert(b / kPage * kPage);
+
+  // Which inodes own damaged pages? Log pages via the chains, data pages
+  // and overlays via the replayed DRAM maps.
+  std::set<unsigned> log_damaged;
+  std::set<unsigned> data_damaged;
+  for (unsigned ino = 0; ino < kMaxInodes; ++ino) {
+    DInode& di = inodes_[ino];
+    if (!di.in_use) continue;
+    try {
+      for (std::uint64_t lp = di.log_head; lp != 0;) {
+        if (bad_pages.count(lp) != 0) log_damaged.insert(ino);
+        lp = ns_.load_pod<std::uint64_t>(ctx, lp);
+      }
+    } catch (const hw::MediaError&) {
+      log_damaged.insert(ino);
+    }
+    for (auto& [idx, ps] : di.pages) {
+      if (ps.page_off != 0) {
+        for (std::uint64_t l = ps.page_off; l < ps.page_off + kPage;
+             l += hw::Platform::kXpLineBytes) {
+          if (bad_lines.count(l) != 0) {
+            data_damaged.insert(ino);
+            break;
+          }
+        }
+      }
+      // Drop overlays whose embedded bytes sit on a bad line: the base
+      // page's older content wins, which is historical — never garbage.
+      auto& ov = ps.overlays;
+      const auto old_n = ov.size();
+      ov.erase(std::remove_if(ov.begin(), ov.end(),
+                              [&](const Embed& e) {
+                                for (std::uint64_t l =
+                                         e.data_off &
+                                         ~(hw::Platform::kXpLineBytes - 1);
+                                     l < e.data_off + e.len;
+                                     l += hw::Platform::kXpLineBytes)
+                                  if (bad_lines.count(l) != 0) return true;
+                                return false;
+                              }),
+               ov.end());
+      if (ov.size() != old_n) data_damaged.insert(ino);
+    }
+  }
+
+  // Scrub everything, then rebuild the damaged logs from DRAM state so a
+  // later remount replays an intact chain instead of stopping at zeros.
+  for (const std::uint64_t b : bad) scrub_line(ctx, b);
+  for (const unsigned ino : log_damaged) {
+    if (ino == 0)
+      rebuild_dir_log(ctx);
+    else
+      clean_log(ctx, ino);
+  }
+  for (const unsigned ino : data_damaged)
+    recovery_.inodes_damaged.push_back(ino);
+  for (const unsigned ino : log_damaged)
+    if (data_damaged.count(ino) == 0)
+      recovery_.inodes_damaged.push_back(ino);
+}
+
+Status NovaFs::fsck(ThreadCtx& ctx) {
+  try {
+    const std::string err = fsck_impl(ctx);
+    if (err.empty()) return Status::Ok();
+    return Status::Corruption(err);
+  } catch (const hw::MediaError& e) {
+    return Status::MediaFault(e.what());
+  }
+}
+
+std::string NovaFs::fsck_impl(ThreadCtx& ctx) {
   const auto s = ns_.load_pod<Super>(ctx, 0);
   if (s.magic != kMagic) return "super: bad magic";
   if (s.fs_size != ns_.size()) return "super: fs_size mismatch";
@@ -608,13 +836,16 @@ std::string NovaFs::fsck(ThreadCtx& ctx) {
           type != kDirentDel && type != kSetSize)
         return tag + ": bad entry type " + std::to_string(type) + " @" +
                std::to_string(pos);
-      if (e.total_len < sizeof(LogEntry) || e.total_len % 8 != 0 ||
+      const std::uint32_t footer = opt_.log_checksum ? 8u : 0u;
+      if (e.total_len < sizeof(LogEntry) + footer || e.total_len % 8 != 0 ||
           pos % kPage + e.total_len + 8 > kPage)
         return tag + ": bad entry length @" + std::to_string(pos);
       if (type == kEmbed &&
-          sizeof(LogEntry) + e.page > e.total_len)
+          sizeof(LogEntry) + e.page + footer > e.total_len)
         return tag + ": embed payload overruns entry @" +
                std::to_string(pos);
+      if (opt_.log_checksum && !entry_crc_ok(ctx, pos, e))
+        return tag + ": entry crc mismatch @" + std::to_string(pos);
       pos += e.total_len;
     }
   }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "novafs/vfs.h"
+#include "sim/status.h"
 
 namespace xp::nova {
 
@@ -39,6 +40,10 @@ struct NovaOptions {
   AllocPolicy alloc = AllocPolicy::kSpread;
   unsigned merge_threshold = 32;  // overlays per page before a merge
   unsigned clean_threshold = 256; // log pages per inode before cleaning
+  // Append an 8-byte CRC32C footer to every log entry and verify it on
+  // replay/fsck; a mismatch truncates the log at the damage point. Off by
+  // default so the stock entry format and timing are unchanged.
+  bool log_checksum = false;
   FsCosts costs{};
 };
 
@@ -54,7 +59,38 @@ class NovaFs final : public FileSystem {
   void format(ThreadCtx& ctx);
   // Mount after restart/crash: replays every inode log. Returns false if
   // the namespace holds no NOVA file system.
+  //
+  // Media-error tolerant: a poisoned superblock falls back to the backup
+  // copy; a poisoned inode-table line loses (and reports) the up-to-4
+  // inodes on it; a log that stops replaying (poison or checksum failure)
+  // is truncated at the damage point. Everything is reported through
+  // recovery() — committed data can be lost to bad media, but never
+  // silently.
   bool mount(ThreadCtx& ctx);
+
+  // What mount()/repair() had to do about damaged media.
+  struct RecoveryInfo {
+    bool super_restored = false;          // superblock rebuilt from backup
+    std::vector<unsigned> inodes_lost;    // inode-table line poisoned
+    std::vector<unsigned> logs_truncated; // replay stopped early
+    std::vector<unsigned> inodes_damaged; // data/overlay bytes lost
+    std::vector<std::string> dirents_dropped;  // named a lost inode
+    std::vector<std::uint64_t> scrubbed_lines;
+    std::string detail;
+    bool damaged() const {
+      return super_restored || !inodes_lost.empty() ||
+             !logs_truncated.empty() || !inodes_damaged.empty() ||
+             !dirents_dropped.empty();
+    }
+  };
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  // Scrub every remaining poisoned line: overlays hosted on bad lines are
+  // dropped (the base page's older bytes win), inodes with damaged pages
+  // or logs are reported, and damaged logs are rebuilt from the replayed
+  // DRAM state so a later remount sees an intact log. Reads after
+  // repair() never raise MediaError and never return unreported garbage.
+  void repair(ThreadCtx& ctx);
 
   int create(ThreadCtx& ctx, const std::string& name) override;
   int open(ThreadCtx& ctx, const std::string& name) override;
@@ -79,10 +115,10 @@ class NovaFs final : public FileSystem {
 
   // Recovery invariants (crashmc checker entry point). Call after mount():
   // validates the superblock, every in-use inode's log chain (in-bounds,
-  // acyclic, well-formed entries) and page ownership — no data page
-  // referenced twice, no page serving as both log and data, embedded
-  // extents inside their own inode's log. Returns "" when all hold.
-  std::string fsck(ThreadCtx& ctx);
+  // acyclic, well-formed entries, checksums when enabled) and page
+  // ownership — no data page referenced twice, no page serving as both
+  // log and data, embedded extents inside their own inode's log.
+  Status fsck(ThreadCtx& ctx);
 
   // Introspection for tests/benches.
   std::size_t log_pages(int ino) const;
@@ -122,6 +158,9 @@ class NovaFs final : public FileSystem {
     kEndOfPage = 0xF,
   };
   static constexpr std::uint64_t kLogDataStart = 16;  // after page header
+  // Redundant superblock copy, written at format() time; the primary's
+  // line going bad must not take the whole file system with it.
+  static constexpr std::uint64_t kSuperBackupOff = 2048;
 
   // ---- DRAM state ---------------------------------------------------------
   struct Embed {
@@ -172,6 +211,24 @@ class NovaFs final : public FileSystem {
   std::uint64_t append_dirent(ThreadCtx& ctx, EntryType type,
                               unsigned target_ino, const std::string& name);
 
+  // Total entry length for `payload` bytes (header + payload, 8-aligned,
+  // plus the optional checksum footer).
+  std::uint32_t entry_len(std::size_t payload) const {
+    return static_cast<std::uint32_t>(
+               (sizeof(LogEntry) + payload + 7) / 8 * 8) +
+           (opt_.log_checksum ? 8u : 0u);
+  }
+  bool entry_crc_ok(ThreadCtx& ctx, std::uint64_t pos, const LogEntry& e);
+  void scrub_line(ThreadCtx& ctx, std::uint64_t line_off);
+  // End the log durably at `pos` after media damage: scrub the page's bad
+  // lines, write a terminator, persist the tail hint, and report it.
+  void truncate_log_at(ThreadCtx& ctx, unsigned ino, std::uint64_t pos,
+                       const std::string& why);
+  // Rebuild the directory log (inode 0) from the in-DRAM namei map; the
+  // file-log equivalent is clean_log().
+  void rebuild_dir_log(ThreadCtx& ctx);
+  std::string fsck_impl(ThreadCtx& ctx);
+
   PmemNamespace& ns_;
   NovaOptions opt_;
   std::uint64_t data_start_ = 0;
@@ -180,6 +237,7 @@ class NovaFs final : public FileSystem {
   std::map<std::string, int> namei_;
   std::vector<DInode> inodes_;
   std::uint64_t cleanings_ = 0;
+  RecoveryInfo recovery_;
   // Set while the cleaner rebuilds a log so the atomic head switch can
   // happen once, after the whole replacement chain is persisted.
   bool suppress_head_persist_ = false;

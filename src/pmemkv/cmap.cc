@@ -1,6 +1,7 @@
 #include "pmemkv/cmap.h"
 
 #include <cstring>
+#include <set>
 #include <unordered_set>
 #include <vector>
 
@@ -131,7 +132,63 @@ bool CMap::remove(sim::ThreadCtx& ctx, std::string_view key) {
   return true;
 }
 
-std::string CMap::check(sim::ThreadCtx& ctx) {
+Status CMap::check(sim::ThreadCtx& ctx) {
+  try {
+    const std::string err = check_impl(ctx);
+    if (err.empty()) return Status::Ok();
+    return Status::Corruption(err);
+  } catch (const hw::MediaError& e) {
+    return Status::MediaFault(e.what());
+  }
+}
+
+void CMap::repair(sim::ThreadCtx& ctx) {
+  auto& ns = pool_.ns();
+  const auto bad = ns.platform().ars(ns, 0, ns.size());
+  if (bad.empty()) return;
+  const std::set<std::uint64_t> bad_lines(bad.begin(), bad.end());
+  constexpr std::uint64_t kLine = hw::Platform::kXpLineBytes;
+  auto range_bad = [&](std::uint64_t off, std::uint64_t len) {
+    for (std::uint64_t l = off & ~(kLine - 1); l < off + len; l += kLine)
+      if (bad_lines.count(l) != 0) return true;
+    return false;
+  };
+
+  for (std::uint32_t b = 0; b < kBuckets; ++b) {
+    std::uint64_t link = table_ + b * 8;
+    if (range_bad(link, 8)) {
+      // The head pointer itself is gone; scrubbing below zeroes it, so
+      // this bucket comes back empty and its whole chain leaks.
+      ++recovery_.buckets_zeroed;
+      continue;
+    }
+    std::uint64_t node = peek_pod<std::uint64_t>(ns, link);
+    while (node != 0) {
+      if (range_bad(node, sizeof(NodeHeader))) {
+        // Header (and its next pointer) unreadable: cut the chain here.
+        // `link` is on a clean line — it was just read.
+        pmem::store_persist_pod(ctx, ns, link, std::uint64_t{0});
+        ++recovery_.chains_cut;
+        break;
+      }
+      const auto hd = peek_pod<NodeHeader>(ns, node);
+      if (range_bad(node + sizeof(NodeHeader), hd.klen + hd.vlen)) {
+        // Payload damaged but the header is intact: splice the node out
+        // and keep walking the preserved tail.
+        pmem::store_persist_pod(ctx, ns, link, hd.next);
+        ++recovery_.nodes_spliced;
+        node = hd.next;
+        continue;
+      }
+      link = node + offsetof(NodeHeader, next);
+      node = hd.next;
+    }
+  }
+  // Only now is it safe to zero the bad lines — nothing references them.
+  for (const std::uint64_t l : bad) pool_.scrub_line(ctx, l);
+}
+
+std::string CMap::check_impl(sim::ThreadCtx& ctx) {
   const auto& ns = pool_.ns();
   const std::uint64_t heap_lo = pmem::Pool::heap_base();
   const std::uint64_t heap_hi = pool_.heap_top(ctx);

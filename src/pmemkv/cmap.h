@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "pmemlib/pool.h"
+#include "sim/status.h"
 
 namespace xp::pmemkv {
 
@@ -37,8 +38,24 @@ class CMap {
   // (untimed peeks — the 64K-bucket scan would swamp simulated time):
   // node offsets aligned and inside the allocated heap, chains acyclic,
   // keys hashing to their bucket, no duplicate key within a chain.
-  // Returns "" when all hold.
-  std::string check(sim::ThreadCtx& ctx);
+  Status check(sim::ThreadCtx& ctx);
+
+  // Excise media damage from the map, then scrub it: a node whose payload
+  // is on a bad line is spliced out of its chain, a node whose header is
+  // unreadable cuts the chain there (the tail leaks, reported), and a bad
+  // bucket-table line zeroes its buckets (their chains leak). Reads after
+  // repair() never raise MediaError and never return garbage.
+  void repair(sim::ThreadCtx& ctx);
+
+  struct RecoveryInfo {
+    unsigned chains_cut = 0;      // unreadable node header: tail dropped
+    unsigned nodes_spliced = 0;   // unreadable payload: node dropped
+    unsigned buckets_zeroed = 0;  // bucket-table line lost
+    bool damaged() const {
+      return chains_cut != 0 || nodes_spliced != 0 || buckets_zeroed != 0;
+    }
+  };
+  const RecoveryInfo& recovery() const { return recovery_; }
 
  private:
   struct NodeHeader {
@@ -65,9 +82,11 @@ class CMap {
     NodeHeader header{};
   };
   Located locate(sim::ThreadCtx& ctx, std::string_view key);
+  std::string check_impl(sim::ThreadCtx& ctx);
 
   pmem::Pool& pool_;
   std::uint64_t table_ = 0;
+  RecoveryInfo recovery_;
 };
 
 }  // namespace xp::pmemkv

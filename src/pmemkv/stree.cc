@@ -245,7 +245,84 @@ std::vector<std::pair<std::string, std::string>> STree::scan(
   return out;
 }
 
-std::string STree::check(sim::ThreadCtx& ctx) {
+Status STree::check(sim::ThreadCtx& ctx) {
+  try {
+    const std::string err = check_impl(ctx);
+    if (err.empty()) return Status::Ok();
+    return Status::Corruption(err);
+  } catch (const hw::MediaError& e) {
+    return Status::MediaFault(e.what());
+  }
+}
+
+void STree::repair(sim::ThreadCtx& ctx) {
+  auto& ns = pool_.ns();
+  const auto bad = ns.platform().ars(ns, 0, ns.size());
+  if (bad.empty()) return;
+  const std::set<std::uint64_t> bad_lines(bad.begin(), bad.end());
+  constexpr std::uint64_t kLine = hw::Platform::kXpLineBytes;
+  auto range_bad = [&](std::uint64_t off, std::uint64_t len) {
+    for (std::uint64_t l = off & ~(kLine - 1); l < off + len; l += kLine)
+      if (bad_lines.count(l) != 0) return true;
+    return false;
+  };
+
+  if (range_bad(pool_.root(ctx), 8)) {
+    // The root pointer itself is gone, so the whole chain is unreachable
+    // (a reported total loss). Scrub everything and re-create an empty
+    // tree so later opens see a valid structure.
+    for (const std::uint64_t l : bad) pool_.scrub_line(ctx, l);
+    create(ctx);
+    recovery_.root_reset = true;
+    return;
+  }
+  if (first_leaf_ == 0)  // open() never completed; the root line is clean
+    first_leaf_ = peek_pod<std::uint64_t>(ns, pool_.root(ctx));
+
+  std::uint64_t prev = 0;
+  for (std::uint64_t leaf = first_leaf_; leaf != 0;) {
+    if (range_bad(leaf, sizeof(LeafHeader))) {
+      // Header (next pointer + bitmap) unreadable: everything from here
+      // on is unreachable. Scrubbing zeroes the header, which for the
+      // first leaf *is* a fresh empty leaf {next=0, bitmap=0}.
+      if (prev == 0) {
+        recovery_.root_reset = true;
+      } else {
+        pmem::store_persist_pod(ctx, ns, prev + offsetof(LeafHeader, next),
+                                std::uint64_t{0});
+      }
+      ++recovery_.leaves_dropped;
+      break;
+    }
+    const auto h = peek_pod<LeafHeader>(ns, leaf);
+    std::uint32_t bitmap = h.bitmap;
+    for (unsigned i = 0; i < kLeafSlots; ++i) {
+      if ((bitmap & (1u << i)) == 0) continue;
+      bool drop = range_bad(slot_off(leaf, i), sizeof(Slot));
+      if (!drop) {
+        const auto s = peek_pod<Slot>(ns, slot_off(leaf, i));
+        drop = range_bad(s.val_off, 4) ||
+               range_bad(s.val_off, 4 + peek_pod<std::uint32_t>(ns, s.val_off));
+      }
+      if (drop) {
+        bitmap &= ~(1u << i);
+        ++recovery_.slots_dropped;
+      }
+    }
+    if (bitmap != h.bitmap)
+      pmem::store_persist_pod(ctx, ns, leaf + offsetof(LeafHeader, bitmap),
+                              bitmap);
+    prev = leaf;
+    leaf = h.next;
+  }
+
+  // Nothing references the bad lines any more; zero them and rebuild the
+  // DRAM index from the surviving chain.
+  for (const std::uint64_t l : bad) pool_.scrub_line(ctx, l);
+  open(ctx);
+}
+
+std::string STree::check_impl(sim::ThreadCtx& ctx) {
   const auto& ns = pool_.ns();
   const std::uint64_t heap_lo = pmem::Pool::heap_base();
   const std::uint64_t heap_hi = pool_.heap_top(ctx);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "pmemlib/pool.h"
+#include "sim/status.h"
 
 namespace xp::pmemkv {
 
@@ -57,8 +58,24 @@ class STree {
   // leaves in-bounds and acyclic, valid slots with key_len <= kMaxKey and
   // value blobs inside the allocated heap, keys globally unique, and the
   // chain key-ordered (every key in a leaf below every key in the next).
-  // Returns "" when all hold.
-  std::string check(sim::ThreadCtx& ctx);
+  Status check(sim::ThreadCtx& ctx);
+
+  // Excise media damage from the tree, then scrub it: a leaf with a bad
+  // header or slot line truncates the chain there (everything after is
+  // dropped, reported); a slot whose value blob sits on a bad line has
+  // its bitmap bit cleared. The DRAM index is rebuilt afterwards. Reads
+  // after repair() never raise MediaError and never return garbage.
+  void repair(sim::ThreadCtx& ctx);
+
+  struct RecoveryInfo {
+    unsigned leaves_dropped = 0;  // unreadable leaf: chain truncated
+    unsigned slots_dropped = 0;   // value blob on a bad line
+    bool root_reset = false;      // first leaf unreadable: tree emptied
+    bool damaged() const {
+      return leaves_dropped != 0 || slots_dropped != 0 || root_reset;
+    }
+  };
+  const RecoveryInfo& recovery() const { return recovery_; }
 
  private:
   struct Slot {  // 40 bytes
@@ -96,11 +113,13 @@ class STree {
                            std::string_view key);
 
   void index_leaf(sim::ThreadCtx& ctx, std::uint64_t leaf);
+  std::string check_impl(sim::ThreadCtx& ctx);
 
   pmem::Pool& pool_;
   std::uint64_t first_leaf_ = 0;
   // DRAM inner index: smallest key in leaf -> leaf offset.
   std::map<std::string, std::uint64_t> index_;
+  RecoveryInfo recovery_;
 };
 
 }  // namespace xp::pmemkv

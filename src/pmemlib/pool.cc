@@ -5,9 +5,21 @@
 #include <cstring>
 #include <vector>
 
+#include "sim/crc32.h"
+
 namespace xp::pmem {
 
 // --------------------------------------------------------------- Pool ----
+
+std::uint32_t Pool::header_crc(const Header& h) {
+  // Identity fields only: magic, pool_size, root_off, root_size.
+  return sim::crc32c(&h, 4 * sizeof(std::uint64_t));
+}
+
+bool Pool::header_valid(const Header& h) const {
+  return h.magic == kMagic && h.pool_size == ns_.size() &&
+         h.identity_crc == header_crc(h);
+}
 
 void Pool::create(ThreadCtx& ctx, std::uint64_t root_size) {
   assert(ns_.size() > kHeapBase + root_size + 4096);
@@ -33,13 +45,63 @@ void Pool::create(ThreadCtx& ctx, std::uint64_t root_size) {
   std::vector<std::uint8_t> zeros(root_size, 0);
   if (root_size > 0) ns_.ntstore_persist(ctx, h.root_off, zeros);
 
+  h.identity_crc = header_crc(h);
+  // Redundant copy first (via the management path — untimed, so pool
+  // creation costs exactly what it did without the copy), primary last:
+  // a crash mid-create still leaves an invalid primary and no pool.
+  ns_.poke(kBackupHeaderOff,
+           std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(&h), sizeof(h)));
   store_persist_pod(ctx, ns_, 0, h);
+  recovery_ = RecoveryInfo{};
 }
 
 bool Pool::open(ThreadCtx& ctx) {
-  const Header h = read_header(ctx);
-  if (h.magic != kMagic || h.pool_size != ns_.size()) return false;
-  for (unsigned l = 0; l < kLanes; ++l) recover_lane(ctx, l);
+  recovery_ = RecoveryInfo{};
+  Header h{};
+  bool primary_ok = false;
+  try {
+    h = read_header(ctx);
+    primary_ok = header_valid(h);
+  } catch (const hw::MediaError&) {
+    primary_ok = false;
+  }
+  if (!primary_ok) {
+    // Redundant-copy fallback: restore identity from the backup. The
+    // mutable allocator fields in the backup are create-time stale, so
+    // seal the heap — existing objects stay readable, new allocation is
+    // exhausted — and drop the free list.
+    Header b{};
+    try {
+      b = ns_.load_pod<Header>(ctx, kBackupHeaderOff);
+    } catch (const hw::MediaError&) {
+      return false;  // both copies unreadable: not a recoverable pool
+    }
+    if (!header_valid(b)) return false;
+    h = b;
+    h.heap_top = h.pool_size / 64 * 64;
+    h.free_head = 0;
+    scrub_line(ctx, 0);  // zero the damaged line, clearing its poison
+    store_persist_pod(ctx, ns_, 0, h);
+    recovery_.header_restored = true;
+    recovery_.heap_sealed = true;
+  }
+  for (unsigned l = 0; l < kLanes; ++l) {
+    try {
+      recover_lane(ctx, l);
+    } catch (const hw::MediaError&) {
+      // The lane's undo log is unreadable. Its transaction was never
+      // acknowledged and every logged store is individually ordered, so
+      // forcing the lane idle without rollback keeps the pool
+      // structurally consistent; the abandonment is reported, not hidden.
+      for (const std::uint64_t bad :
+           ns_.platform().ars(ns_, lane_off(l), kLaneSize))
+        scrub_line(ctx, bad);
+      store_persist_pod(ctx, ns_, lane_off(l), Tx::LaneHeader{0, 0, 0});
+      ++recovery_.lanes_forced_idle;
+    }
+  }
+  if (!recovery_.scrubbed_lines.empty()) repair_free_list(ctx);
   return true;
 }
 
@@ -47,9 +109,72 @@ void Pool::recover_lane(ThreadCtx& ctx, unsigned lane) {
   Tx::recover(*this, ctx, lane_off(lane));
 }
 
-std::string Pool::check(ThreadCtx& ctx) {
+void Pool::scrub_line(ThreadCtx& ctx, std::uint64_t line_off) {
+  line_off &= ~(hw::Platform::kXpLineBytes - 1);
+  const std::uint8_t zeros[hw::Platform::kXpLineBytes] = {};
+  ns_.ntstore_persist(ctx, line_off, zeros);
+  recovery_.scrubbed_lines.push_back(line_off);
+}
+
+void Pool::repair(ThreadCtx& ctx) {
+  const auto bad = ns_.platform().ars(ns_, 0, ns_.size());
+  for (const std::uint64_t line : bad) scrub_line(ctx, line);
+  // Always revalidate the free list: a store-level repair may have
+  // scrubbed (zeroed) a free chunk before calling us, leaving a node
+  // with size 0 that the walk below truncates away.
+  repair_free_list(ctx);
+}
+
+void Pool::repair_free_list(ThreadCtx& ctx) {
+  const Header h = read_header(ctx);  // header line is clean by now
+  const std::uint64_t max_chunks = (h.heap_top - kHeapBase) / 64;
+  std::uint64_t prev = 0;
+  std::uint64_t cur = h.free_head;
+  std::uint64_t steps = 0;
+  while (cur != 0) {
+    bool bad = ++steps > max_chunks || cur % 64 != 0 || cur < kHeapBase ||
+               cur + sizeof(FreeChunk) > h.heap_top;
+    FreeChunk chunk{};
+    if (!bad) {
+      try {
+        chunk = ns_.load_pod<FreeChunk>(ctx, cur);
+      } catch (const hw::MediaError& e) {
+        scrub_line(ctx, e.line_off);
+        bad = true;
+      }
+    }
+    if (!bad && (chunk.size < 64 || chunk.size % 64 != 0 ||
+                 cur + chunk.size > h.heap_top))
+      bad = true;
+    if (bad) {
+      // Truncate at the damage point: the unreachable suffix is leaked
+      // (reported), never chased into garbage.
+      const std::uint64_t target = prev == 0
+                                       ? offsetof(Header, free_head)
+                                       : prev + offsetof(FreeChunk, next);
+      store_persist_pod(ctx, ns_, target, std::uint64_t{0});
+      recovery_.free_list_truncated = true;
+      return;
+    }
+    prev = cur;
+    cur = chunk.next;
+  }
+}
+
+Status Pool::check(ThreadCtx& ctx) {
+  try {
+    const std::string err = check_impl(ctx);
+    if (err.empty()) return Status::Ok();
+    return Status::Corruption(err);
+  } catch (const hw::MediaError& e) {
+    return Status::MediaFault(e.what());
+  }
+}
+
+std::string Pool::check_impl(ThreadCtx& ctx) {
   const Header h = read_header(ctx);
   if (h.magic != kMagic) return "header: bad magic";
+  if (h.identity_crc != header_crc(h)) return "header: identity crc mismatch";
   if (h.pool_size != ns_.size()) return "header: pool_size != namespace size";
   if (h.heap_top < kHeapBase || h.heap_top > h.pool_size)
     return "header: heap_top outside [heap_base, pool_size]";
@@ -199,7 +324,15 @@ Tx::Tx(Pool& pool, ThreadCtx& ctx)
 }
 
 Tx::~Tx() {
-  if (active_) abort();
+  if (!active_) return;
+  try {
+    abort();
+  } catch (const hw::MediaError&) {
+    // Rollback hit bad media mid-unwind; never throw from a destructor.
+    // The lane stays active and the next open() finishes (or abandons)
+    // the rollback with its scrub-and-retry machinery.
+    active_ = false;
+  }
 }
 
 void Tx::add(std::uint64_t off, std::uint32_t len) {
@@ -272,12 +405,40 @@ void Tx::abort() {
 void Tx::recover(Pool& pool, ThreadCtx& ctx, std::uint64_t lane_base) {
   const auto hdr = pool.ns_.load_pod<LaneHeader>(ctx, lane_base);
   if (hdr.state != 1) return;
-  for (std::uint32_t i = hdr.nentries; i-- > 0;) {
+
+  // Stage 1: read the whole undo log up front. A MediaError here means
+  // the log itself is unreadable — it propagates to open(), which scrubs
+  // the lane and forces it idle without a partial rollback (mixing
+  // rolled-back and not-rolled-back stores is worse than abandoning an
+  // unacknowledged transaction whole).
+  struct Pending {
+    std::uint64_t off;
+    std::vector<std::uint8_t> old;
+  };
+  std::vector<Pending> log(hdr.nentries);
+  for (std::uint32_t i = 0; i < hdr.nentries; ++i) {
     const Entry e = pool.ns_.load_pod<Entry>(
         ctx, lane_base + kEntriesOff + i * sizeof(Entry));
-    std::vector<std::uint8_t> old(e.len);
-    pool.ns_.load(ctx, lane_base + kBlobOff + e.blob_off, old);
-    pool.ns_.store_flush(ctx, e.off, old);
+    log[i].off = e.off;
+    log[i].old.resize(e.len);
+    pool.ns_.load(ctx, lane_base + kBlobOff + e.blob_off, log[i].old);
+  }
+
+  // Stage 2: apply snapshots in reverse. A rollback *target* line may be
+  // poisoned — the RFO throws — so scrub it and retry: rewriting the
+  // historical snapshot over a zeroed line fabricates nothing.
+  for (std::uint32_t i = hdr.nentries; i-- > 0;) {
+    const int max_attempts =
+        static_cast<int>(log[i].old.size() / hw::Platform::kXpLineBytes) + 2;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        pool.ns_.store_flush(ctx, log[i].off, log[i].old);
+        break;
+      } catch (const hw::MediaError& me) {
+        if (attempt >= max_attempts) throw;
+        pool.scrub_line(ctx, me.line_off);
+      }
+    }
   }
   pool.ns_.sfence(ctx);
   store_persist_pod(ctx, pool.ns_, lane_base, LaneHeader{0, 0, 0});

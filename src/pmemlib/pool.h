@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "pmemlib/pmem_ops.h"
+#include "sim/status.h"
 #include "xpsim/platform.h"
 
 namespace xp::pmem {
@@ -36,15 +38,51 @@ class Pool {
   void create(ThreadCtx& ctx, std::uint64_t root_size);
 
   // Open an existing pool; replays/rolls back interrupted transactions.
-  // Returns false if the namespace does not hold a valid pool.
+  // Returns false if the namespace does not hold a valid pool (neither
+  // header copy readable and intact).
+  //
+  // Media-error tolerant: a poisoned primary header falls back to the
+  // backup copy (identity restored, allocator state sealed), a lane whose
+  // undo log is unreadable is scrubbed and forced idle (its unacknowledged
+  // transaction is neither rolled back nor completed — every logged store
+  // is individually ordered, so the pool stays structurally consistent),
+  // and a poisoned rollback *target* line is scrubbed and then restored
+  // from its snapshot. Everything done is reported in recovery().
   bool open(ThreadCtx& ctx);
+
+  // What the last open()/repair() had to do to get here. Empty vectors /
+  // false flags mean a clean, damage-free recovery.
+  struct RecoveryInfo {
+    bool header_restored = false;  // primary header rebuilt from backup
+    bool heap_sealed = false;      // allocator state lost: no more allocs
+    unsigned lanes_forced_idle = 0;
+    bool free_list_truncated = false;
+    // Every 256 B line that was zeroed because its media failed. Data on
+    // these lines is gone; owners must treat it as lost, not as zeros.
+    std::vector<std::uint64_t> scrubbed_lines;
+    bool damaged() const {
+      return header_restored || lanes_forced_idle != 0 ||
+             free_list_truncated || !scrubbed_lines.empty();
+    }
+  };
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  // Zero the 256 B XPLine containing `line_off` with a full-line ntstore
+  // (which clears its poison) and record it in recovery().scrubbed_lines.
+  void scrub_line(ThreadCtx& ctx, std::uint64_t line_off);
+
+  // Scrub every poisoned line the ARS reports over the whole namespace,
+  // then repair the free list if anything was scrubbed. Store-level
+  // callers that keep structure on the heap (cmap/stree) must excise
+  // damaged nodes *before* calling this, because scrubbing turns poison
+  // into zeros.
+  void repair(ThreadCtx& ctx);
 
   // Recovery invariants (crashmc checker entry point). Call after open():
   // verifies the header, that every lane is durably idle, and that the
   // allocator metadata is sane — heap_top within bounds and the free list
-  // acyclic, aligned, in-heap, and non-overlapping. Returns "" when all
-  // hold, else a diagnostic.
-  std::string check(ThreadCtx& ctx);
+  // acyclic, aligned, in-heap, and non-overlapping.
+  Status check(ThreadCtx& ctx);
 
   // Test-only fault injection for crashmc's negative tests: deliberately
   // weakens the persistence protocol so the harness can demonstrate it
@@ -91,7 +129,16 @@ class Pool {
     std::uint64_t root_size;
     std::uint64_t heap_top;
     std::uint64_t free_head;  // 0 = empty free list
+    // CRC32C over the four identity fields above (magic..root_size),
+    // written at create() and never updated — the mutable allocator
+    // fields stay out so the hot-path field writes are unchanged.
+    std::uint32_t identity_crc;
+    std::uint32_t reserved;
   };
+  // Redundant copy of the header (critical metadata), inside the header
+  // page, written at create(): if the primary's XPLine goes bad, open()
+  // restores identity from here.
+  static constexpr std::uint64_t kBackupHeaderOff = 2048;
   // Free chunks carry {next, size} in their first 16 bytes.
   struct FreeChunk {
     std::uint64_t next;
@@ -115,12 +162,20 @@ class Pool {
 
   void recover_lane(ThreadCtx& ctx, unsigned lane);
 
+  static std::uint32_t header_crc(const Header& h);
+  bool header_valid(const Header& h) const;
+  std::string check_impl(ThreadCtx& ctx);
+  // Drop the unreachable/damaged suffix of the free list at the first
+  // chunk that is unreadable or structurally invalid.
+  void repair_free_list(ThreadCtx& ctx);
+
   // Point `prev` (a free chunk, or the header's free_head when 0) at
   // `next`, undo-logged in `tx`.
   void relink(Tx& tx, std::uint64_t prev, std::uint64_t next);
 
   hw::PmemNamespace& ns_;
   TestFault test_fault_ = TestFault::kNone;
+  RecoveryInfo recovery_;
 };
 
 // Undo-log transaction. Usage:

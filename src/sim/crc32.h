@@ -1,0 +1,47 @@
+// Software CRC32C (Castagnoli), table-driven, byte at a time.
+//
+// Used by the stores to checksum persistent records (WAL records, SSTable
+// payloads, pool/novafs metadata) so that media corruption which escapes
+// the device's poison tracking is still detected on read. Host-side only:
+// computing a checksum costs no simulated time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace xp::sim {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k)
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0u);
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+// Incremental form: pass the previous return value as `seed` to extend.
+inline std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                            std::uint32_t seed = 0) {
+  const auto& table = detail::crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t b : data)
+    crc = (crc >> 8) ^ table[(crc ^ b) & 0xffu];
+  return ~crc;
+}
+
+inline std::uint32_t crc32c(const void* p, std::size_t n,
+                            std::uint32_t seed = 0) {
+  return crc32c({static_cast<const std::uint8_t*>(p), n}, seed);
+}
+
+}  // namespace xp::sim

@@ -33,6 +33,17 @@ const char* evict_kind_name(hw::EvictKind k) {
   return "evict_unknown";
 }
 
+const char* media_fault_kind_name(hw::MediaFaultKind k) {
+  switch (k) {
+    case hw::MediaFaultKind::kCorrected: return "ecc_corrected";
+    case hw::MediaFaultKind::kPoisoned: return "poisoned";
+    case hw::MediaFaultKind::kUncorrectable: return "uncorrectable";
+    case hw::MediaFaultKind::kClearedByWrite: return "cleared_by_write";
+    case hw::MediaFaultKind::kScrubFound: return "scrub_found";
+  }
+  return "media_fault_unknown";
+}
+
 void append_u64(std::string& out, std::uint64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
@@ -151,6 +162,29 @@ void Session::crash_fired(sim::Time t, std::uint64_t seq) {
   }
 }
 
+void Session::media_fault(hw::MediaFaultKind kind, sim::Time t,
+                          unsigned socket, unsigned channel,
+                          std::uint64_t line_off) {
+  ++media_fault_counts_[static_cast<unsigned>(kind)];
+  last_event_time_ = std::max(last_event_time_, t);
+  if (kind == hw::MediaFaultKind::kScrubFound) {
+    // Keep the ARS bad-line list sorted and unique; repeated scrubs of a
+    // still-poisoned namespace re-report the same lines.
+    const auto it =
+        std::lower_bound(ars_bad_lines_.begin(), ars_bad_lines_.end(),
+                         line_off);
+    if (it == ars_bad_lines_.end() || *it != line_off)
+      ars_bad_lines_.insert(it, line_off);
+  }
+  if (trace_) {
+    std::string args = "{\"line_off\":";
+    append_u64(args, line_off);
+    args += '}';
+    trace_->instant(media_fault_kind_name(kind), "media_fault", t, socket,
+                    channel, std::move(args));
+  }
+}
+
 void Session::run_complete(const char* name, sim::Time start, sim::Time end) {
   last_event_time_ = std::max(last_event_time_, end);
   sampler_.sample(end);  // close the final interval at the run boundary
@@ -265,6 +299,29 @@ std::string Session::summary_json() const {
   append_u64(out, ait_misses_);
   out += ",\"crash_points\":";
   append_u64(out, crash_points_);
+
+  // Media error-model section — present only when the fault-injection
+  // subsystem produced events, so fault-free summaries (and the checked-in
+  // BENCH_sweep.json formats) are unchanged byte for byte.
+  {
+    std::uint64_t any = 0;
+    for (const std::uint64_t c : media_fault_counts_) any += c;
+    if (any != 0 || !ars_bad_lines_.empty()) {
+      out += ",\"media_faults\":{";
+      bool first = true;
+      for (unsigned k = 0; k < hw::kMediaFaultKinds; ++k) {
+        append_kv(out,
+                  media_fault_kind_name(static_cast<hw::MediaFaultKind>(k)),
+                  media_fault_counts_[k], &first);
+      }
+      out += ",\"ars_bad_lines\":[";
+      for (std::size_t i = 0; i < ars_bad_lines_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_u64(out, ars_bad_lines_[i]);
+      }
+      out += "]}";
+    }
+  }
 
   out += ",\"dimm_labels\":[";
   for (unsigned d = 0; d < sampler_.dimms(); ++d) {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/simtime.h"
 #include "telemetry/registry.h"
@@ -86,6 +87,13 @@ class Session final : public hw::TelemetrySink {
     return evict_counts_[static_cast<unsigned>(k)];
   }
   std::uint64_t ait_miss_count() const { return ait_misses_; }
+  std::uint64_t media_fault_count(hw::MediaFaultKind k) const {
+    return media_fault_counts_[static_cast<unsigned>(k)];
+  }
+  // Distinct XPLine offsets ARS reported bad (sorted, deduplicated).
+  const std::vector<std::uint64_t>& ars_bad_lines() const {
+    return ars_bad_lines_;
+  }
 
   // ---- hw::TelemetrySink --------------------------------------------------
   void persist_event(hw::PersistEventKind kind, sim::Time t,
@@ -94,6 +102,8 @@ class Session final : public hw::TelemetrySink {
                        unsigned channel) override;
   void ait_miss(sim::Time t, unsigned socket, unsigned channel) override;
   void crash_fired(sim::Time t, std::uint64_t seq) override;
+  void media_fault(hw::MediaFaultKind kind, sim::Time t, unsigned socket,
+                   unsigned channel, std::uint64_t line_off) override;
   void tick(sim::Time now) override { sampler_.tick(now); }
   void run_complete(const char* name, sim::Time start, sim::Time end) override;
 
@@ -106,6 +116,8 @@ class Session final : public hw::TelemetrySink {
   std::array<std::uint64_t, 4> evict_counts_{};
   std::uint64_t ait_misses_ = 0;
   std::uint64_t crash_points_ = 0;
+  std::array<std::uint64_t, hw::kMediaFaultKinds> media_fault_counts_{};
+  std::vector<std::uint64_t> ars_bad_lines_;  // sorted unique line offsets
   sim::Time last_event_time_ = 0;
   bool finished_ = false;
 };

@@ -26,6 +26,14 @@ struct XpCounters {
   std::uint64_t ait_misses = 0;
   std::uint64_t wear_migrations = 0;
 
+  // Media error-model events (src/xpsim/fault.h). All stay zero unless a
+  // fault injector is used, so fault-free runs are unaffected.
+  std::uint64_t ecc_corrected = 0;        // transient, ECC fixed it
+  std::uint64_t lines_poisoned = 0;       // XPLines turned uncorrectable
+  std::uint64_t uncorrectable_reads = 0;  // reads that returned MediaError
+  std::uint64_t poison_cleared = 0;       // poison cleared by full-line write
+  std::uint64_t lines_scrubbed = 0;       // bad lines reported by ARS
+
   // EWR = iMC write bytes / media write bytes (inverse of write
   // amplification). > 1 is possible via coalescing (paper §5.1).
   //
@@ -67,6 +75,11 @@ struct XpCounters {
     evictions_partial += o.evictions_partial;
     ait_misses += o.ait_misses;
     wear_migrations += o.wear_migrations;
+    ecc_corrected += o.ecc_corrected;
+    lines_poisoned += o.lines_poisoned;
+    uncorrectable_reads += o.uncorrectable_reads;
+    poison_cleared += o.poison_cleared;
+    lines_scrubbed += o.lines_scrubbed;
     return *this;
   }
   XpCounters operator-(const XpCounters& o) const {
@@ -82,6 +95,11 @@ struct XpCounters {
     r.evictions_partial -= o.evictions_partial;
     r.ait_misses -= o.ait_misses;
     r.wear_migrations -= o.wear_migrations;
+    r.ecc_corrected -= o.ecc_corrected;
+    r.lines_poisoned -= o.lines_poisoned;
+    r.uncorrectable_reads -= o.uncorrectable_reads;
+    r.poison_cleared -= o.poison_cleared;
+    r.lines_scrubbed -= o.lines_scrubbed;
     return r;
   }
 };

@@ -1,7 +1,9 @@
 #include "xpsim/platform.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <cstring>
 
 namespace xp::hw {
 
@@ -265,6 +267,150 @@ void Platform::note_persist_event(PersistEventKind kind, Time t) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Media fault model
+// ---------------------------------------------------------------------------
+
+XpCounters& Platform::fault_counters(PmemNamespace& ns, std::uint64_t xpline) {
+  const DimmAddr da = ns.decode(xpline);
+  return sockets_[ns.socket()].xp[da.channel]->counters();
+}
+
+void Platform::poison_line(PmemNamespace& ns, std::uint64_t off) {
+  do_poison(ns, off & ~(kXpLineBytes - 1));
+}
+
+bool Platform::line_poisoned(const PmemNamespace& ns,
+                             std::uint64_t off) const {
+  return ns.poison_.count(off & ~(kXpLineBytes - 1)) != 0;
+}
+
+void Platform::mark_ecc_transient(PmemNamespace& ns, std::uint64_t off) {
+  assert(ns.device() == Device::kXp && !ns.opts_.memory_mode);
+  media_faults_enabled_ = true;
+  ns.ecc_transient_.insert(off & ~(kXpLineBytes - 1));
+}
+
+void Platform::arm_read_fault(std::uint64_t n) {
+  assert(n >= 1);
+  assert(!frozen_);
+  media_faults_enabled_ = true;
+  read_fault_at_ = device_reads_ + n;
+  media_fault_fired_ = false;
+}
+
+void Platform::clear_media_fault() {
+  read_fault_at_ = 0;
+  media_fault_fired_ = false;
+  frozen_ = false;
+}
+
+void Platform::set_wear_fail_migrations(std::uint64_t m) {
+  wear_fail_migrations_ = m;
+  if (m != 0) media_faults_enabled_ = true;
+}
+
+void Platform::do_poison(PmemNamespace& ns, std::uint64_t xpline) {
+  assert(ns.device() == Device::kXp && !ns.opts_.memory_mode);
+  media_faults_enabled_ = true;
+  if (!ns.poison_.insert(xpline).second) return;
+  // Deterministic clobber of the line's durable bytes (SplitMix64 keyed
+  // by physical line address), so untimed peeks see garbage rather than
+  // stale-but-plausible data — an uncorrectable line has no data.
+  std::array<std::uint8_t, kXpLineBytes> junk;
+  std::uint64_t x = (ns.base_ + xpline) ^ 0x9e3779b97f4a7c15ULL;
+  for (std::size_t w = 0; w < kXpLineBytes; w += 8) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    std::memcpy(junk.data() + w, &z, 8);
+  }
+  ns.image_write(xpline, junk);
+  // Discard cached copies of the line's four 64 B sub-lines so later
+  // reads must refetch from media and take the fault (dirty copies are
+  // lost — the media under them failed).
+  for (auto& cache : caches_)
+    for (std::uint64_t sub = 0; sub < kXpLineBytes; sub += 64)
+      cache->erase(ns.base_ + xpline + sub);
+  ++fault_counters(ns, xpline).lines_poisoned;
+  if (telemetry_)
+    telemetry_->media_fault(MediaFaultKind::kPoisoned, 0, ns.socket(),
+                            ns.decode(xpline).channel, xpline);
+}
+
+void Platform::clear_poison_by_write(PmemNamespace& ns, std::uint64_t xpline,
+                                     Time t) {
+  auto it = ns.poison_.find(xpline);
+  if (it == ns.poison_.end()) return;
+  ns.poison_.erase(it);
+  ++fault_counters(ns, xpline).poison_cleared;
+  if (telemetry_)
+    telemetry_->media_fault(MediaFaultKind::kClearedByWrite, t, ns.socket(),
+                            ns.decode(xpline).channel, xpline);
+}
+
+void Platform::media_fault_check(ThreadCtx& ctx, PmemNamespace& ns,
+                                 std::uint64_t line_off, Time done) {
+  const std::uint64_t xpline = line_off & ~(kXpLineBytes - 1);
+  if (read_fault_at_ != 0 && device_reads_ >= read_fault_at_) {
+    read_fault_at_ = 0;
+    fire_media_error(ctx, ns, xpline, done, /*injected=*/true);
+  }
+  if (ns.poison_.count(xpline) != 0)
+    fire_media_error(ctx, ns, xpline, done, /*injected=*/false);
+  if (auto it = ns.ecc_transient_.find(xpline);
+      it != ns.ecc_transient_.end()) {
+    ns.ecc_transient_.erase(it);
+    ++fault_counters(ns, xpline).ecc_corrected;
+    if (telemetry_)
+      telemetry_->media_fault(MediaFaultKind::kCorrected, done, ns.socket(),
+                              ns.decode(xpline).channel, xpline);
+  }
+}
+
+void Platform::fire_media_error(ThreadCtx& ctx, PmemNamespace& ns,
+                                std::uint64_t xpline, Time done,
+                                bool injected) {
+  const unsigned channel = ns.decode(xpline).channel;
+  if (injected) {
+    do_poison(ns, xpline);
+    media_fault_fired_ = true;
+  }
+  ++fault_counters(ns, xpline).uncorrectable_reads;
+  if (telemetry_)
+    telemetry_->media_fault(MediaFaultKind::kUncorrectable, done,
+                            ns.socket(), channel, xpline);
+  // Complete the in-flight access before unwinding so the thread's clock
+  // state stays coherent for whoever catches the error.
+  ctx.complete_access(done);
+  if (injected) {
+    // The faulting process dies at the MCE: model it exactly like a power
+    // failure, then freeze so RAII cleanup in the unwinding workload
+    // cannot touch the durable image.
+    crash();
+    frozen_ = true;
+  }
+  throw MediaError(ns.name(), xpline, ns.socket(), channel);
+}
+
+std::vector<std::uint64_t> Platform::ars(PmemNamespace& ns, std::uint64_t off,
+                                         std::uint64_t len) {
+  std::vector<std::uint64_t> bad;
+  const std::uint64_t lo = off & ~(kXpLineBytes - 1);
+  for (auto it = ns.poison_.lower_bound(lo);
+       it != ns.poison_.end() && *it < off + len; ++it)
+    bad.push_back(*it);
+  for (const std::uint64_t line : bad) {
+    ++fault_counters(ns, line).lines_scrubbed;
+    if (telemetry_)
+      telemetry_->media_fault(MediaFaultKind::kScrubFound, 0, ns.socket(),
+                              ns.decode(line).channel, line);
+  }
+  return bad;
+}
+
 void Platform::attach_telemetry(TelemetrySink* sink) {
   telemetry_ = sink;
   for (unsigned s = 0; s < timing_.sockets; ++s)
@@ -360,6 +506,17 @@ Time Platform::device_write64(ThreadCtx& ctx, PmemNamespace& ns,
         t, da.addr, ns.opts_.emulation.write_slowdown, &admit_wait);
   }
   (void)admit_wait;
+  if (wear_fail_migrations_ != 0 && timing_.wear_threshold != 0 &&
+      ns.device() == Device::kXp && !ns.opts_.memory_mode) {
+    // Wear-out coupling: once the line's AIT migration count has crossed
+    // the threshold, the media fails under this write and the line goes
+    // uncorrectable (the just-written data is part of what is lost).
+    Media& media = sockets_[ns.socket()].xp[da.channel]->media();
+    const std::uint64_t media_line = da.addr / timing_.xpline;
+    if (media.wear_of(media_line) / timing_.wear_threshold >=
+        wear_fail_migrations_)
+      do_poison(ns, line_off & ~(kXpLineBytes - 1));
+  }
   if (remote && ack > t + timing_.upi_hold_floor) {
     // The outbound lane stays busy until the target iMC accepts the
     // data, beyond the pipelined floor. DRAM acks in nanoseconds (no
@@ -411,6 +568,11 @@ void Platform::do_load(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
       ++cc.load_misses;
       coherence_flush(ctx.socket(), paddr_line, t0);
       done = device_read_line(ctx, ns, line_off, t0);
+      if (ns.device() == Device::kXp && !ns.opts_.memory_mode) {
+        ++device_reads_;
+        if (media_faults_enabled_)
+          media_fault_check(ctx, ns, line_off, done);  // may throw
+      }
       CacheModel::LineData d;
       ns.image_.read(line_off, std::span<std::uint8_t>(d));
       std::memcpy(out.data() + out_pos, d.data() + in_line, n);
@@ -450,6 +612,11 @@ void Platform::do_store(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
       ++cc.store_misses;
       coherence_flush(ctx.socket(), paddr_line, t0);
       const Time fill = device_read_line(ctx, ns, line_off, t0);
+      if (ns.device() == Device::kXp && !ns.opts_.memory_mode) {
+        ++device_reads_;
+        if (media_faults_enabled_)
+          media_fault_check(ctx, ns, line_off, fill);  // may throw
+      }
       CacheModel::LineData d;
       ns.image_.read(line_off, std::span<std::uint8_t>(d));
       std::memcpy(d.data() + in_line, data.data() + in_pos, n);
@@ -491,6 +658,14 @@ void Platform::do_ntstore(ThreadCtx& ctx, PmemNamespace& ns,
         device_write64(ctx, ns, line_off, t0 + timing_.ntstore_wc_flush);
     ctx.complete_access(done);
     in_pos += n;
+    if (media_faults_enabled_) {
+      // A full-XPLine overwrite re-establishes ECC: when this segment
+      // completes a 256 B line wholly covered by the ntstore — every
+      // sub-line already in the ADR domain — its poison clears.
+      const std::uint64_t xpline = line_off & ~(kXpLineBytes - 1);
+      if (xpline >= off && seg_off + n == xpline + kXpLineBytes)
+        clear_poison_by_write(ns, xpline, done);
+    }
     note_persist_event(PersistEventKind::kNtStoreDrain, done);
   });
   if (telemetry_) telemetry_->tick(ctx.now());

@@ -19,7 +19,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -70,6 +72,30 @@ class Platform;
 // unwind. Catch it at the harness level (crashmc::explore does); never
 // inside store code.
 struct CrashPointHit {};
+
+// Thrown by a timed read (cache-line fill or RFO) that hits an
+// uncorrectable — poisoned — 256 B XPLine: the simulator's analogue of
+// the machine check / SIGBUS a poisoned DAX mapping raises on real
+// Optane. Reads of pre-existing poison throw with the platform still
+// live, so recovery code can catch, scrub and continue; a campaign-armed
+// injection (Platform::arm_read_fault) additionally crashes and freezes
+// the platform before throwing, modeling the faulting process dying at
+// the MCE.
+struct MediaError : std::runtime_error {
+  MediaError(const std::string& ns_name, std::uint64_t off, unsigned sock,
+             unsigned chan)
+      : std::runtime_error("uncorrectable media error: " + ns_name + "+" +
+                           std::to_string(off)),
+        nspace(ns_name),
+        line_off(off),
+        socket(sock),
+        channel(chan) {}
+
+  std::string nspace;
+  std::uint64_t line_off;  // 256 B-aligned namespace offset
+  unsigned socket;
+  unsigned channel;
+};
 
 // A byte-addressable persistent (or pseudo-persistent) region, the unit of
 // App-Direct provisioning (an fsdax namespace in Linux terms).
@@ -130,6 +156,7 @@ class PmemNamespace {
   bool interleaved() const { return opts_.interleaved; }
   const std::string& name() const { return opts_.name; }
   std::uint64_t base() const { return base_; }
+  Platform& platform() { return platform_; }
 
   // Aggregated DIMM hardware counters for the DIMMs this namespace spans.
   XpCounters xp_counters() const;
@@ -150,6 +177,12 @@ class PmemNamespace {
   std::uint64_t base_;  // position in the global physical address space
   InterleaveDecoder decoder_;
   SparseImage image_;
+  // Media error state, keyed by 256 B-aligned namespace offset (valid
+  // because the interleave chunk is a multiple of the XPLine size, so one
+  // namespace XPLine maps to exactly one DIMM XPLine). Empty unless a
+  // FaultInjector has planted faults.
+  std::set<std::uint64_t> poison_;         // uncorrectable lines
+  std::set<std::uint64_t> ecc_transient_;  // one-shot correctable events
 };
 
 class Platform {
@@ -207,6 +240,50 @@ class Platform {
 
   bool crash_fired() const { return crash_fired_; }
   bool frozen() const { return frozen_; }
+
+  // ---- Media fault model (src/xpsim/fault.h) -----------------------------
+  // Inert until a FaultInjector plants a fault or arms a trigger: with no
+  // faults in use, every timed read takes one disabled branch and all
+  // error counters stay zero, so fault-free runs are bit-identical to the
+  // pre-fault-subsystem simulator.
+  static constexpr std::uint64_t kXpLineBytes = 256;
+
+  // Timed device reads (cache fills + RFOs) served by App-Direct XP
+  // namespaces, counted unconditionally — the read-site numbering that
+  // arm_read_fault() uses, mirroring persist_events()/crash_after().
+  std::uint64_t device_reads() const { return device_reads_; }
+
+  // Mark the XPLine containing `off` uncorrectable: its durable bytes are
+  // clobbered deterministically, cached copies of the line are discarded,
+  // and every later timed read of it throws MediaError until a full-line
+  // ntstore rewrites it.
+  void poison_line(PmemNamespace& ns, std::uint64_t off);
+  bool line_poisoned(const PmemNamespace& ns, std::uint64_t off) const;
+
+  // Plant a one-shot ECC-corrected transient on the XPLine containing
+  // `off`: the next read succeeds but counts an ecc_corrected event.
+  void mark_ecc_transient(PmemNamespace& ns, std::uint64_t off);
+
+  // Campaign trigger: the n-th device read from now (n >= 1) poisons the
+  // XPLine it touches, crashes and freezes the platform (the faulting
+  // process dies at the MCE), and throws MediaError.
+  void arm_read_fault(std::uint64_t n);
+  bool media_fault_fired() const { return media_fault_fired_; }
+
+  // Disarm and unfreeze after a fired (or abandoned) injection; the
+  // poison stays, ready for recovery. Analogue of clear_crash_trigger().
+  void clear_media_fault();
+
+  // Wear-out coupling: an XPLine whose AIT wear-migration count has
+  // reached `m` goes uncorrectable on its next write. 0 disables.
+  void set_wear_fail_migrations(std::uint64_t m);
+
+  // Address Range Scrub: report the 256 B-aligned offsets of every
+  // poisoned XPLine inside [off, off+len) of `ns`, sorted ascending.
+  // Untimed firmware maintenance — no simulated clock is charged; counts
+  // lines_scrubbed and emits kScrubFound telemetry per bad line.
+  std::vector<std::uint64_t> ars(PmemNamespace& ns, std::uint64_t off,
+                                 std::uint64_t len);
 
   // Start a new measurement epoch: forget every queue/bank/link
   // reservation so freshly spawned ThreadCtx clocks (which start at 0)
@@ -293,6 +370,22 @@ class Platform {
   // therefore every crash point) is independent of them.
   void note_persist_event(PersistEventKind kind, Time t);
 
+  // ---- media fault internals (fault paths only) --------------------------
+  // Counters of the DIMM owning `xpline` of `ns`.
+  XpCounters& fault_counters(PmemNamespace& ns, std::uint64_t xpline);
+  // poison_line() after alignment; idempotent.
+  void do_poison(PmemNamespace& ns, std::uint64_t xpline);
+  // Clear poison because a full-XPLine write just reached the ADR domain.
+  void clear_poison_by_write(PmemNamespace& ns, std::uint64_t xpline, Time t);
+  // Per-device-read fault gate, called with an access in flight; on a
+  // fault it completes the access, then throws MediaError (after crash +
+  // freeze if the armed trigger fired).
+  void media_fault_check(ThreadCtx& ctx, PmemNamespace& ns,
+                         std::uint64_t line_off, Time done);
+  [[noreturn]] void fire_media_error(ThreadCtx& ctx, PmemNamespace& ns,
+                                     std::uint64_t xpline, Time done,
+                                     bool injected);
+
   Timing timing_;
   std::vector<std::unique_ptr<CacheModel>> caches_;  // one per socket
   std::vector<CacheCounters> cache_counters_;
@@ -306,6 +399,12 @@ class Platform {
   bool frozen_ = false;
   bool crash_fired_ = false;
   TelemetrySink* telemetry_ = nullptr;
+
+  std::uint64_t device_reads_ = 0;
+  std::uint64_t read_fault_at_ = 0;  // 0 = disarmed
+  std::uint64_t wear_fail_migrations_ = 0;
+  bool media_faults_enabled_ = false;
+  bool media_fault_fired_ = false;
 };
 
 }  // namespace xp::hw

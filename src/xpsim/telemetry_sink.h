@@ -38,6 +38,18 @@ enum class EvictKind : std::uint8_t {
   kRewrite,  // fully dirty line rewritten in place: flushed, fresh round
 };
 
+// Media (XPLine) error-model events, emitted by the fault-injection
+// subsystem (src/xpsim/fault.h). Only produced when faults are in use, so
+// fault-free runs emit no such events.
+enum class MediaFaultKind : std::uint8_t {
+  kCorrected,       // ECC-corrected transient: data served, event logged
+  kPoisoned,        // a 256 B XPLine became uncorrectable (injected/wear)
+  kUncorrectable,   // a read hit a poisoned line and returned MediaError
+  kClearedByWrite,  // a full-XPLine overwrite cleared the poison state
+  kScrubFound,      // ARS reported this line in its bad-line list
+};
+inline constexpr unsigned kMediaFaultKinds = 5;
+
 class TelemetrySink {
  public:
   virtual ~TelemetrySink() = default;
@@ -58,6 +70,13 @@ class TelemetrySink {
   // An armed crash trigger fired at persist event `seq`. Emitted before
   // CrashPointHit is thrown.
   virtual void crash_fired(sim::Time /*t*/, std::uint64_t /*seq*/) {}
+
+  // A media error-model event on DIMM (socket, channel). `line_off` is
+  // the 256 B-aligned namespace offset of the affected XPLine. ARS events
+  // carry t == 0 (scrubbing is an untimed maintenance operation).
+  virtual void media_fault(MediaFaultKind /*kind*/, sim::Time /*t*/,
+                           unsigned /*socket*/, unsigned /*channel*/,
+                           std::uint64_t /*line_off*/) {}
 
   // Called once per timed data-path operation (load/store/ntstore/flush/
   // fence) with the issuing thread's clock; drives periodic samplers.

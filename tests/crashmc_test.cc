@@ -192,13 +192,13 @@ TEST(CrashMcRelease, ReleasedTxRollsBackExactlyOnceOnOpen) {
   Pool reopened(f.ns);
   ASSERT_TRUE(reopened.open(t2));
   EXPECT_EQ(f.ns.load_pod<std::uint64_t>(t2, f.root), 11u);
-  EXPECT_EQ(reopened.check(t2), "");
+  EXPECT_TRUE(reopened.check(t2).ok());
 
   // A second open() is a no-op (the lane was retired by the first).
   Pool again(f.ns);
   ASSERT_TRUE(again.open(t2));
   EXPECT_EQ(f.ns.load_pod<std::uint64_t>(t2, f.root), 11u);
-  EXPECT_EQ(again.check(t2), "");
+  EXPECT_TRUE(again.check(t2).ok());
 }
 
 // Sweep every crash point inside a released (never committed) tx: no
@@ -239,7 +239,7 @@ TEST(CrashMcRelease, ReleasedTxNeverSurvivesAnyCrashPoint) {
     Pool reopened(f.ns);
     ASSERT_TRUE(reopened.open(t2)) << k;
     EXPECT_EQ(f.ns.load_pod<std::uint64_t>(t2, f.root), 11u) << k;
-    EXPECT_EQ(reopened.check(t2), "") << k;
+    EXPECT_TRUE(reopened.check(t2).ok()) << k;
   }
 }
 
@@ -316,7 +316,7 @@ TEST(CrashMcRelease, ConcurrentLanesRecoverIndependently) {
       EXPECT_TRUE(a == 11u || a == 22u) << k << " got " << a;
     }
     EXPECT_EQ(b, 33u) << k;  // released tx must always be rolled back
-    EXPECT_EQ(reopened.check(t2), "") << k;
+    EXPECT_TRUE(reopened.check(t2).ok()) << k;
   }
 }
 

@@ -1,10 +1,17 @@
 // Device-level unit tests: Media (wear, migration stalls), AitCache,
 // XpBuffer coalescing/EWR mechanics, XpDimm queues and stream trackers,
-// DramDimm row buffers, and the UPI link.
+// DramDimm row buffers, the UPI link, and the XPLine error model
+// (poison, ECC transients, ARS, wear-out coupling).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
 #include "xpsim/dram_dimm.h"
+#include "xpsim/fault.h"
 #include "xpsim/media.h"
+#include "xpsim/platform.h"
 #include "xpsim/timing.h"
 #include "xpsim/upi.h"
 #include "xpsim/xpbuffer.h"
@@ -14,6 +21,19 @@ namespace xp::hw {
 namespace {
 
 using sim::Time;
+using sim::ThreadCtx;
+
+ThreadCtx fault_thread() {
+  return ThreadCtx({.id = 0, .socket = 0, .mlp = 8, .seed = 1});
+}
+
+std::vector<std::uint8_t> fill_bytes(std::size_t n, std::uint8_t v) {
+  return std::vector<std::uint8_t>(n, v);
+}
+
+bool all_zero(const std::vector<std::uint8_t>& v) {
+  return std::accumulate(v.begin(), v.end(), 0u) == 0u;
+}
 
 // ------------------------------------------------------------------ Media
 TEST(Media, ReadOccupiesBank) {
@@ -241,6 +261,244 @@ TEST(Upi, ResetClearsState) {
   upi.hold_outbound(sim::ms(1));
   upi.reset_timing();
   EXPECT_EQ(upi.outbound(0, sim::ns(5)), sim::ns(5));
+}
+
+// -------------------------------------------------------------- MediaFault
+TEST(MediaFault, PoisonedTimedReadThrowsAndImageIsClobbered) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t = fault_thread();
+  const auto data = fill_bytes(Platform::kXpLineBytes, 0xab);
+  ns.ntstore_persist(t, 1024, data);
+
+  FaultInjector injector(platform);
+  injector.poison(ns, 1024 + 64);  // any offset inside the line
+
+  // The durable bytes are gone: an uncorrectable line has no data, so
+  // untimed peeks see a deterministic clobber, never the stale payload.
+  std::vector<std::uint8_t> img(Platform::kXpLineBytes);
+  ns.peek(1024, img);
+  EXPECT_NE(img, data);
+
+  std::vector<std::uint8_t> out(64);
+  try {
+    ns.load(t, 1024, out);
+    FAIL() << "poisoned read did not throw";
+  } catch (const MediaError& e) {
+    EXPECT_EQ(e.line_off, 1024u);
+    EXPECT_EQ(e.socket, 0u);
+  }
+  EXPECT_EQ(ns.xp_counters().lines_poisoned, 1u);
+  EXPECT_EQ(ns.xp_counters().uncorrectable_reads, 1u);
+}
+
+TEST(MediaFault, RfoStoreToPoisonedLineThrows) {
+  // A sub-line store must read-for-ownership first, so it cannot merge
+  // new bytes into a poisoned line silently — the fill takes the fault.
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t = fault_thread();
+  FaultInjector injector(platform);
+  injector.poison(ns, 2048);
+  const auto data = fill_bytes(64, 0x11);
+  EXPECT_THROW(ns.store(t, 2048, data), MediaError);
+}
+
+TEST(MediaFault, FullLineNtstoreClearsPoison) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t = fault_thread();
+  FaultInjector injector(platform);
+  injector.poison(ns, 512);
+  ASSERT_TRUE(platform.line_poisoned(ns, 512));
+
+  const auto fresh = fill_bytes(Platform::kXpLineBytes, 0x5a);
+  ns.ntstore_persist(t, 512, fresh);  // 256 B overwrite re-establishes ECC
+  EXPECT_FALSE(platform.line_poisoned(ns, 512));
+  EXPECT_EQ(ns.xp_counters().poison_cleared, 1u);
+
+  std::vector<std::uint8_t> out(Platform::kXpLineBytes);
+  ns.load(t, 512, out);
+  EXPECT_EQ(out, fresh);
+}
+
+TEST(MediaFault, PartialNtstoreRetainsPoison) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t = fault_thread();
+  FaultInjector injector(platform);
+  injector.poison(ns, 512);
+
+  // 64 B of the 256 B XPLine: ECC cannot be re-established from a
+  // partial write, the line stays bad.
+  ns.ntstore(t, 512, fill_bytes(64, 0x5a));
+  ns.sfence(t);
+  EXPECT_TRUE(platform.line_poisoned(ns, 512));
+  std::vector<std::uint8_t> out(64);
+  EXPECT_THROW(ns.load(t, 512 + 128, out), MediaError);
+}
+
+TEST(MediaFault, PoisonDropsDirtyCachedCopies) {
+  // Bytes dirty in the CPU cache above a line that fails are lost: the
+  // poison clobber wins and a later flush of the dead line is a no-op.
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t = fault_thread();
+  const auto data = fill_bytes(64, 0x77);
+  ns.store(t, 4096, data);  // dirty in cache only
+
+  FaultInjector injector(platform);
+  injector.poison(ns, 4096);
+  platform.crash();
+  std::vector<std::uint8_t> out(64);
+  ns.peek(4096, out);
+  EXPECT_NE(out, data);
+}
+
+TEST(MediaFault, ArsReportsSortedBadLinesInRange) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  FaultInjector injector(platform);
+  injector.poison(ns, 2048);
+  injector.poison(ns, 256);
+  injector.poison(ns, 1792);
+
+  const auto all = platform.ars(ns, 0, ns.size());
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], 256u);
+  EXPECT_EQ(all[1], 1792u);
+  EXPECT_EQ(all[2], 2048u);
+  // Range queries are clamped to [off, off+len).
+  const auto low = platform.ars(ns, 0, 1024);
+  ASSERT_EQ(low.size(), 1u);
+  EXPECT_EQ(low[0], 256u);
+  EXPECT_EQ(ns.xp_counters().lines_scrubbed, 4u);
+}
+
+TEST(MediaFault, EccTransientCorrectsExactlyOnce) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t = fault_thread();
+  const auto data = fill_bytes(Platform::kXpLineBytes, 0x3c);
+  ns.ntstore_persist(t, 0, data);  // bypasses cache: next load is a miss
+
+  FaultInjector injector(platform);
+  injector.mark_transient(ns, 0);
+  std::vector<std::uint8_t> out(Platform::kXpLineBytes);
+  ns.load(t, 0, out);
+  EXPECT_EQ(out, data);  // corrected: data served normally
+  EXPECT_EQ(ns.xp_counters().ecc_corrected, 1u);
+
+  platform.crash();  // drop the cached copy so the next load refetches
+  ns.load(t, 0, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(ns.xp_counters().ecc_corrected, 1u);  // one-shot event
+}
+
+TEST(MediaFault, WearCouplingFailsWornLine) {
+  // A line whose AIT migration count crosses the configured threshold
+  // goes uncorrectable on its next write (paper §2.1 lifetime limits).
+  Timing timing;
+  timing.wear_threshold = 8;
+  Platform platform(timing);
+  PmemNamespace& ns = platform.optane_ni(1 << 20);
+  ThreadCtx t = fault_thread();
+  FaultInjector injector(platform);
+  injector.set_wear_fail_migrations(1);
+
+  const auto sub = fill_bytes(64, 0x99);
+  bool poisoned = false;
+  // Partial (64 B) writes so the eventual poison is not immediately
+  // cleared by a full-line overwrite. Cycling the four sub-blocks makes
+  // the line fully dirty every fourth write, so the next write starts a
+  // fresh combining round and pushes the old version to media — each
+  // round is one media write accruing wear on the hot line.
+  for (int i = 0; i < 20000 && !poisoned; ++i) {
+    ns.ntstore(t, (i % 4) * 64, sub);
+    ns.sfence(t);
+    poisoned = platform.line_poisoned(ns, 0);
+  }
+  ASSERT_TRUE(poisoned) << "wear coupling never fired";
+  EXPECT_GE(ns.xp_counters().wear_migrations, 1u);
+  std::vector<std::uint8_t> out(64);
+  EXPECT_THROW(ns.load(t, 0, out), MediaError);
+}
+
+TEST(MediaFault, PoisonMaterializesSparseImageLine) {
+  // Poisoning a never-written line must materialize exactly that line in
+  // the sparse backing image: its peek shows the clobber while untouched
+  // neighbours keep reading back as zeros.
+  Platform platform;
+  PmemNamespace& ns = platform.optane(16 << 20);
+  const std::uint64_t off = 1 << 20;
+  FaultInjector injector(platform);
+  injector.poison(ns, off);
+
+  std::vector<std::uint8_t> line(Platform::kXpLineBytes);
+  ns.peek(off, line);
+  EXPECT_FALSE(all_zero(line));
+  ns.peek(off + Platform::kXpLineBytes, line);
+  EXPECT_TRUE(all_zero(line));
+  ns.peek(off - Platform::kXpLineBytes, line);
+  EXPECT_TRUE(all_zero(line));
+
+  // Healing the line by full overwrite makes it readable again.
+  ThreadCtx t = fault_thread();
+  const auto fresh = fill_bytes(Platform::kXpLineBytes, 0xe1);
+  ns.ntstore_persist(t, off, fresh);
+  std::vector<std::uint8_t> out(Platform::kXpLineBytes);
+  ns.load(t, off, out);
+  EXPECT_EQ(out, fresh);
+}
+
+TEST(MediaFault, PartialBufferEvictionOfHealedLineKeepsData) {
+  // XPBuffer partial-line evictions RMW against the media image; after a
+  // poison + full-line heal, the merged result must be the healed bytes
+  // (stale pre-poison data must not resurface through the buffer).
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t = fault_thread();
+  ns.ntstore_persist(t, 0, fill_bytes(Platform::kXpLineBytes, 0xaa));
+
+  FaultInjector injector(platform);
+  injector.poison(ns, 0);
+  ns.ntstore_persist(t, 0, fill_bytes(Platform::kXpLineBytes, 0xbb));
+
+  // One dirty 64 B sub-block, then force it out through the buffer: the
+  // eviction is a partial RMW against the healed line.
+  ns.ntstore(t, 64, fill_bytes(64, 0xcc));
+  ns.sfence(t);
+  platform.crash();  // drains buffers; durable image is the merge
+
+  std::vector<std::uint8_t> out(Platform::kXpLineBytes);
+  ns.peek(0, out);
+  std::vector<std::uint8_t> want(Platform::kXpLineBytes, 0xbb);
+  std::fill(want.begin() + 64, want.begin() + 128, 0xcc);
+  EXPECT_EQ(out, want);
+}
+
+TEST(MediaFault, ArmedInjectorFiresOnExactReadIndex) {
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t = fault_thread();
+  ns.ntstore_persist(t, 0, fill_bytes(4096, 1));
+
+  FaultInjector injector(platform);
+  injector.arm_nth_device_read(3);
+  std::vector<std::uint8_t> out(64);
+  // Each load of a fresh line is one device read (cache misses).
+  ns.load(t, 0, out);
+  ns.load(t, 256, out);
+  EXPECT_FALSE(platform.media_fault_fired());
+  EXPECT_THROW(ns.load(t, 512, out), MediaError);
+  EXPECT_TRUE(platform.media_fault_fired());
+  EXPECT_TRUE(platform.line_poisoned(ns, 512));
+
+  // The machine check models process death: the platform is frozen until
+  // the fault is acknowledged, then the poisoned line is still bad.
+  platform.clear_media_fault();
+  platform.reset_timing();
+  EXPECT_THROW(ns.load(t, 512, out), MediaError);
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+// Media fault-injection campaigns over every persistent store (the
+// robustness tentpole's end-to-end gate).
+//
+// explore_faults() arms the k-th device read to poison the XPLine it
+// touches (the process dies at the machine check), then re-opens the
+// store from the poisoned image, runs its repair path and verifies the
+// containment contract: every explored point ends in full recovery or a
+// typed, *reported* error — never silent corruption. The tier-1 smoke
+// here sweeps a fixed-seed sample across all four store families; the
+// exhaustive sweeps live in bench/crashmc_sweep.cc --faults.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crashmc/faultcampaign.h"
+#include "crashmc/workloads.h"
+#include "xpsim/fault.h"
+
+namespace xp::crashmc {
+namespace {
+
+std::string first_violation(const FaultResult& r) {
+  if (r.violations.empty()) return "";
+  return "@" + std::to_string(r.violations[0].point) + ": " +
+         r.violations[0].detail;
+}
+
+// Fixed-seed bounded smoke across the whole store panel (pmemlib, lsmkv,
+// novafs, cmap, stree): ~100 injection points total, CI's tier-1 gate.
+TEST(FaultCampaign, SmokeEveryStoreContainsMediaFaults) {
+  FaultOptions opts;
+  opts.max_exhaustive = 0;  // always sample
+  opts.samples = 20;
+  opts.seed = 42;
+  for (const auto& target : all_targets(/*checksums=*/true)) {
+    const FaultResult r = explore_faults(*target, opts);
+    EXPECT_TRUE(r.ok()) << target->name() << " " << first_violation(r);
+    EXPECT_GT(r.total_reads, 0u) << target->name();
+    EXPECT_GT(r.faults_fired, 0u) << target->name();
+    // Every fired machine check must surface as a typed MediaError; a
+    // workload that swallows one is itself flagged as a violation.
+    EXPECT_EQ(r.faults_fired, r.typed_errors) << target->name();
+  }
+}
+
+// The acceptance sweep: >= 500 distinct injection points spread across
+// all four store families, zero silent corruption.
+TEST(FaultCampaign, FiveHundredPointsZeroSilentCorruption) {
+  FaultOptions opts;
+  opts.max_exhaustive = 0;
+  opts.samples = 120;       // phase 1: every reachable read site
+  opts.poison_points = 60;  // phase 2: at-rest poison vs. recovery
+  opts.seed = 1;
+  std::uint64_t injected = 0;
+  for (const auto& target : all_targets(/*checksums=*/true)) {
+    const FaultResult r = explore_faults(*target, opts);
+    EXPECT_TRUE(r.ok()) << target->name() << " " << first_violation(r);
+    EXPECT_EQ(r.faults_fired, r.typed_errors) << target->name();
+    injected += r.faults_fired + r.lines_poisoned;
+  }
+  EXPECT_GE(injected, 500u);
+}
+
+// The checksum options change the on-media format; the campaign must
+// hold without them too (poison alone is still a typed signal).
+TEST(FaultCampaign, ContainmentHoldsWithoutChecksums) {
+  FaultOptions opts;
+  opts.max_exhaustive = 0;
+  opts.samples = 8;
+  opts.seed = 7;
+  for (const auto& target : all_targets(/*checksums=*/false)) {
+    const FaultResult r = explore_faults(*target, opts);
+    EXPECT_TRUE(r.ok()) << target->name() << " " << first_violation(r);
+  }
+}
+
+// An armed-but-never-fired injector must be invisible: same durable
+// image, same recovery as a run with no injector at all. This is the
+// regression canary for the "injector off == bit-identical" guarantee.
+TEST(FaultCampaign, ArmedButUnfiredInjectorIsInert) {
+  const auto target = make_pmemlib_target();
+
+  hw::Platform& clean = target->reset();
+  target->run();
+  clean.reset_timing();
+  ASSERT_EQ(target->recover_and_check(), "");
+  std::vector<std::uint8_t> base(target->nspace().size());
+  target->nspace().peek(0, base);
+
+  hw::Platform& armed = target->reset();
+  hw::FaultInjector injector(armed, 1);
+  injector.arm_nth_device_read(1ull << 40);  // far past the workload
+  target->run();
+  EXPECT_FALSE(armed.media_fault_fired());
+  armed.clear_media_fault();
+  armed.reset_timing();
+  ASSERT_EQ(target->recover_and_check(), "");
+  std::vector<std::uint8_t> img(target->nspace().size());
+  target->nspace().peek(0, img);
+  EXPECT_TRUE(img == base) << "armed-but-idle injector perturbed the "
+                              "durable image";
+}
+
+// Deterministic replay: the same seed explores the same points with the
+// same outcome counts.
+TEST(FaultCampaign, SameSeedReplaysIdentically) {
+  FaultOptions opts;
+  opts.max_exhaustive = 0;
+  opts.samples = 6;
+  opts.seed = 99;
+  const auto t1 = make_stree_target();
+  const auto t2 = make_stree_target();
+  const FaultResult a = explore_faults(*t1, opts);
+  const FaultResult b = explore_faults(*t2, opts);
+  EXPECT_EQ(a.total_reads, b.total_reads);
+  EXPECT_EQ(a.faults_fired, b.faults_fired);
+  EXPECT_EQ(a.typed_errors, b.typed_errors);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+}  // namespace
+}  // namespace xp::crashmc

@@ -15,6 +15,7 @@
 #include "sim/scheduler.h"
 #include "telemetry/registry.h"
 #include "telemetry/session.h"
+#include "xpsim/fault.h"
 #include "xpsim/platform.h"
 
 namespace xp {
@@ -241,7 +242,7 @@ class ConservationOracle : public ::testing::TestWithParam<std::uint64_t> {
 
 TEST_P(ConservationOracle, ObservedRunConservesAndMatchesUnobserved) {
   constexpr std::uint64_t kRegion = 128 << 10;
-  auto run_program = [&](Platform& platform, PmemNamespace& ns) {
+  auto run_program = [&](PmemNamespace& ns) {
     ThreadCtx t({.id = 0, .socket = 0, .mlp = 8, .seed = 5});
     sim::Rng rng(GetParam());
     for (int op = 0; op < 1500; ++op) {
@@ -271,7 +272,7 @@ TEST_P(ConservationOracle, ObservedRunConservesAndMatchesUnobserved) {
   Platform observed(hw::Timing{}, /*seed=*/9);
   telemetry::Session session(observed);
   PmemNamespace& ns_obs = observed.optane(1 << 20);
-  run_program(observed, ns_obs);
+  run_program(ns_obs);
 
   const telemetry::Snapshot snap = telemetry::Snapshot::capture(observed);
   const hw::XpCounters c = snap.xp_total();
@@ -299,7 +300,7 @@ TEST_P(ConservationOracle, ObservedRunConservesAndMatchesUnobserved) {
 
   Platform unobserved(hw::Timing{}, /*seed=*/9);
   PmemNamespace& ns_un = unobserved.optane(1 << 20);
-  run_program(unobserved, ns_un);
+  run_program(ns_un);
   EXPECT_EQ(unobserved.persist_events(), observed.persist_events());
 
   observed.crash();
@@ -313,6 +314,113 @@ TEST_P(ConservationOracle, ObservedRunConservesAndMatchesUnobserved) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConservationOracle,
                          ::testing::Values(23, 29, 31, 37));
+
+// ------------------------------------------------ poison-shadow oracle --
+// Random interleaving of 256 B-aligned ntstores, poison injections, ECC
+// transients, loads, and scrubs against a shadow model that tracks which
+// XPLines are poisoned and what the durable bytes of every healthy line
+// are. Invariants at every step:
+//  * a timed load of a poisoned line throws MediaError; a load of a
+//    healthy tracked line returns exactly the reference bytes;
+//  * a full-XPLine ntstore heals the line (poison clears, bytes known);
+//  * ARS reports exactly the shadow's poison set, sorted.
+// After a final crash the durable image of every healthy tracked line
+// must match the reference byte-for-byte.
+class PoisonShadowOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoisonShadowOracle, ShadowModelAgreesAtEveryStep) {
+  constexpr std::uint64_t kLineBytes = Platform::kXpLineBytes;
+  constexpr std::uint64_t kLines = 256;  // 64 KB region
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t({.id = 0, .socket = 0, .mlp = 8, .seed = 77});
+  hw::FaultInjector injector(platform, GetParam());
+  sim::Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+
+  std::vector<std::uint8_t> ref(kLines * kLineBytes, 0);
+  std::vector<bool> poisoned(kLines, false);
+  // Lines whose full contents the shadow knows (never poisoned, or healed
+  // by a full-line rewrite since). Poison clobbers a line with garbage
+  // the model does not predict, so such lines are only membership-checked.
+  std::vector<bool> known(kLines, true);
+
+  for (int op = 0; op < 2000; ++op) {
+    const std::uint64_t line = rng.uniform(kLines);
+    const std::uint64_t off = line * kLineBytes;
+    switch (rng.uniform(8)) {
+      case 0:
+      case 1:
+      case 2: {  // full-line ntstore: heals and (re)defines the line
+        std::vector<std::uint8_t> data(kLineBytes);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+        ns.ntstore_persist(t, off, data);
+        std::memcpy(ref.data() + off, data.data(), kLineBytes);
+        poisoned[line] = false;
+        known[line] = true;
+        break;
+      }
+      case 3: {  // sub-line ntstore: updates bytes, cannot heal
+        std::vector<std::uint8_t> data(64);
+        for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+        const std::uint64_t sub = rng.uniform(4) * 64;
+        ns.ntstore_persist(t, off + sub, data);
+        std::memcpy(ref.data() + off + sub, data.data(), 64);
+        break;
+      }
+      case 4: {  // inject: line contents become unpredictable clobber
+        injector.poison(ns, off);
+        poisoned[line] = true;
+        known[line] = false;
+        break;
+      }
+      case 5: {  // ECC transient on a healthy line: served, not fatal
+        if (!poisoned[line]) injector.mark_transient(ns, off);
+        break;
+      }
+      case 6: {  // timed load checks the shadow's fault set and bytes
+        std::vector<std::uint8_t> out(kLineBytes);
+        if (poisoned[line]) {
+          EXPECT_THROW(ns.load(t, off, out), hw::MediaError)
+              << "op " << op << " line " << line;
+        } else {
+          ns.load(t, off, out);
+          if (known[line]) {
+            ASSERT_EQ(0, std::memcmp(out.data(), ref.data() + off,
+                                     kLineBytes))
+                << "op " << op << " line " << line;
+          }
+        }
+        break;
+      }
+      case 7: {  // ARS must report exactly the shadow's poison set
+        std::vector<std::uint64_t> want;
+        for (std::uint64_t l = 0; l < kLines; ++l)
+          if (poisoned[l]) want.push_back(l * kLineBytes);
+        ASSERT_EQ(platform.ars(ns, 0, kLines * kLineBytes), want)
+            << "op " << op;
+        break;
+      }
+    }
+  }
+
+  platform.crash();
+  std::vector<std::uint8_t> image(kLines * kLineBytes);
+  ns.peek(0, image);
+  for (std::uint64_t l = 0; l < kLines; ++l) {
+    if (!known[l] || poisoned[l]) continue;
+    ASSERT_EQ(0, std::memcmp(image.data() + l * kLineBytes,
+                             ref.data() + l * kLineBytes, kLineBytes))
+        << "durable line " << l << " diverged from the shadow";
+  }
+  // The poison set survives the crash: media failure is not volatile.
+  std::vector<std::uint64_t> want;
+  for (std::uint64_t l = 0; l < kLines; ++l)
+    if (poisoned[l]) want.push_back(l * kLineBytes);
+  EXPECT_EQ(platform.ars(ns, 0, kLines * kLineBytes), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoisonShadowOracle,
+                         ::testing::Values(41, 43, 47, 53));
 
 // ---------------------------------------------------- determinism -------
 TEST(Determinism, IdenticalSeedsIdenticalResults) {

@@ -23,6 +23,7 @@
 #include "telemetry/session.h"
 #include "telemetry/trace.h"
 #include "xpsim/counters.h"
+#include "xpsim/fault.h"
 #include "xpsim/platform.h"
 
 namespace xp {
@@ -429,6 +430,52 @@ TEST(Session, SummaryJsonIsValidAndComplete) {
         "\"buffer_evictions\"", "\"ait_misses\"", "\"timeline\"",
         "\"dimm_labels\"", "\"sample_interval_us\""})
     EXPECT_NE(j.find(key), std::string::npos) << "missing " << key;
+  // Fault-free runs must not grow a media-fault section: the summary
+  // format is byte-stable unless the injector was actually used.
+  EXPECT_EQ(j.find("\"media_faults\""), std::string::npos);
+}
+
+TEST(Session, MediaFaultSectionAppearsOnlyWithFaults) {
+  Platform platform;
+  telemetry::Session session(
+      platform, {.trace_path = ::testing::TempDir() + "fault_trace.json"});
+  PmemNamespace& ns = platform.optane(16 << 20);
+  ThreadCtx t({.id = 0, .socket = 0, .mlp = 8, .seed = 1});
+
+  hw::FaultInjector injector(platform, /*seed=*/3);
+  injector.poison(ns, 512);
+  injector.poison(ns, 256);
+  injector.poison(ns, 512);  // idempotent: no second kPoisoned event
+  std::vector<std::uint8_t> buf(64);
+  EXPECT_THROW(ns.load(t, 256, buf), hw::MediaError);
+  platform.clear_media_fault();
+  platform.reset_timing();
+  const auto bad = platform.ars(ns, 0, ns.size());
+  EXPECT_EQ(bad.size(), 2u);
+
+  using hw::MediaFaultKind;
+  EXPECT_EQ(session.media_fault_count(MediaFaultKind::kPoisoned), 2u);
+  EXPECT_EQ(session.media_fault_count(MediaFaultKind::kUncorrectable), 1u);
+  EXPECT_EQ(session.media_fault_count(MediaFaultKind::kScrubFound), 2u);
+  // The ARS bad-line list is sorted and deduplicated even across repeated
+  // scrubs of the same still-poisoned namespace.
+  platform.ars(ns, 0, ns.size());
+  ASSERT_EQ(session.ars_bad_lines().size(), 2u);
+  EXPECT_EQ(session.ars_bad_lines()[0], 256u);
+  EXPECT_EQ(session.ars_bad_lines()[1], 512u);
+
+  session.finish();
+  const std::string j = session.summary_json();
+  EXPECT_NE(j.find("\"media_faults\""), std::string::npos);
+  EXPECT_NE(j.find("\"poisoned\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"uncorrectable\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"ars_bad_lines\":[256,512]"), std::string::npos);
+  // Chrome-trace instants carry the affected line offset.
+  ASSERT_TRUE(session.tracing());
+  const std::string trace = session.trace()->to_json();
+  EXPECT_NE(trace.find("\"uncorrectable\""), std::string::npos);
+  EXPECT_NE(trace.find("\"scrub_found\""), std::string::npos);
+  EXPECT_NE(trace.find("\"line_off\":256"), std::string::npos);
 }
 
 // --------------------------------------------------------- sampler ------
