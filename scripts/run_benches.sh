@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Build Release, run the bench_timing self-measurement harness (which
-# writes BENCH_sweep.json), and guard the sweep engine's determinism
-# contract: every converted figure bench must print byte-identical
-# tables with --jobs 1 and --jobs N. Intended for CI and for refreshing
-# the committed BENCH_sweep.json baseline.
+# Build Release, run the self-measurement harnesses (bench_timing writes
+# BENCH_sweep.json, bench_stores writes BENCH_stores.json), and guard
+# the sweep engine's determinism contract: every converted figure bench
+# must print byte-identical tables with --jobs 1 and --jobs N. Intended
+# for CI and for refreshing the committed JSON baselines.
 #
 # Usage: scripts/run_benches.sh [jobs]
 #   jobs  defaults to the machine's core count (or XP_JOBS if set).
@@ -11,16 +11,27 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-${XP_JOBS:-$(nproc)}}"
+# std::thread::hardware_concurrency() under-reports in containers; pass
+# the real core count so the JSON headers record the actual machine.
+CORES="$(nproc)"
 BUILD=build-release
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target \
-    bench_timing fig02_idle_latency fig04_bw_threads fig05_bw_access_size \
-    fig06_latency_under_load fig13_persist_instructions \
-    fig14_sfence_interval fig16_imc_contention > /dev/null
+    bench_timing bench_stores fig02_idle_latency fig04_bw_threads \
+    fig05_bw_access_size fig06_latency_under_load \
+    fig13_persist_instructions fig14_sfence_interval \
+    fig16_imc_contention > /dev/null
 
 echo "== bench_timing (jobs=$JOBS) =="
-"$BUILD/bench/bench_timing" --jobs "$JOBS" --out BENCH_sweep.json
+"$BUILD/bench/bench_timing" --jobs "$JOBS" --host-cores "$CORES" \
+    --out BENCH_sweep.json
+
+echo
+echo "== bench_stores (jobs=$JOBS) =="
+# Exits non-zero if its serial vs parallel grids diverge (determinism).
+"$BUILD/bench/bench_stores" --jobs "$JOBS" --host-cores "$CORES" \
+    --out BENCH_stores.json
 
 # Determinism guard: byte-identical tables regardless of job count. The
 # quick benches run their full sweeps; the long ones are already covered

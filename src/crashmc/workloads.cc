@@ -156,11 +156,15 @@ class PmemlibTarget final : public Target {
 // low L0 trigger pull flushes and a compaction into the crash window.
 class LsmkvTarget final : public Target {
  public:
-  LsmkvTarget(kv::WalMode mode, bool wal_checksum)
-      : mode_(mode), wal_checksum_(wal_checksum) {}
+  LsmkvTarget(kv::WalMode mode, bool wal_checksum, bool group_commit)
+      : mode_(mode), wal_checksum_(wal_checksum),
+        group_commit_(group_commit) {}
 
   std::string name() const override {
-    return mode_ == kv::WalMode::kPosix ? "lsmkv-posix" : "lsmkv-flex";
+    std::string n = mode_ == kv::WalMode::kPosix ? "lsmkv-posix"
+                                                 : "lsmkv-flex";
+    if (group_commit_) n += "-group";
+    return n;
   }
 
   hw::Platform& reset() override {
@@ -174,6 +178,7 @@ class LsmkvTarget final : public Target {
     opts_.memtable_bytes = 512;
     opts_.l0_compaction_trigger = 2;
     opts_.sync_every_op = true;
+    opts_.wal_group_commit = group_commit_;
     db_ = std::make_unique<kv::Db>(*ns_, opts_);
     sim::ThreadCtx ctx = make_thread(0);
     db_->create(ctx);
@@ -189,6 +194,38 @@ class LsmkvTarget final : public Target {
   void run() override {
     sim::ThreadCtx ctx = make_thread(0);
     sim::Rng rng(11);
+    if (group_commit_) {
+      // Batched mode: the acknowledged unit is a put_batch group. A crash
+      // anywhere inside the group must roll back to the previous group
+      // boundary — the group appears atomically or not at all — so the
+      // model state advances a whole batch at a time. Groups coalesce
+      // several records into one persist burst, so run 2x the ops to keep
+      // the crash-point count comparable to the per-record target.
+      const unsigned ops = 2 * kOps;
+      for (unsigned op = 0; op < ops;) {
+        const unsigned batch = std::min<unsigned>(
+            ops - op, 1 + static_cast<unsigned>(rng.uniform(3)));
+        prev_ = cur_;
+        std::vector<std::string> keys(batch), vals(batch);
+        std::vector<kv::WalRecord> recs(batch);
+        for (unsigned i = 0; i < batch; ++i, ++op) {
+          keys[i] = "key" + std::to_string(rng.uniform(kKeys));
+          if (rng.uniform(4) == 0 && cur_.count(keys[i]) != 0) {
+            cur_.erase(keys[i]);
+            recs[i] = {keys[i], {}, /*tombstone=*/true};
+          } else {
+            vals[i] = keys[i] + "#" + std::to_string(op) +
+                      std::string(4 + rng.uniform(16),
+                                  'a' + static_cast<char>(op % 26));
+            cur_[keys[i]] = vals[i];
+            history_[keys[i]].insert(vals[i]);
+            recs[i] = {keys[i], vals[i], false};
+          }
+        }
+        db_->put_batch(ctx, recs);
+      }
+      return;
+    }
     for (unsigned op = 0; op < kOps; ++op) {
       const std::string key = "key" + std::to_string(rng.uniform(kKeys));
       prev_ = cur_;
@@ -266,6 +303,7 @@ class LsmkvTarget final : public Target {
 
   kv::WalMode mode_;
   bool wal_checksum_;
+  bool group_commit_;
   std::unique_ptr<hw::Platform> platform_;
   hw::PmemNamespace* ns_ = nullptr;
   kv::DbOptions opts_;
@@ -283,9 +321,12 @@ class LsmkvTarget final : public Target {
 // the crash window.
 class NovafsTarget final : public Target {
  public:
-  explicit NovafsTarget(bool log_checksum) : log_checksum_(log_checksum) {}
+  NovafsTarget(bool log_checksum, bool batch_appends)
+      : log_checksum_(log_checksum), batch_appends_(batch_appends) {}
 
-  std::string name() const override { return "novafs"; }
+  std::string name() const override {
+    return batch_appends_ ? "novafs-batch" : "novafs";
+  }
 
   hw::Platform& reset() override {
     platform_ = std::make_unique<hw::Platform>();
@@ -295,6 +336,7 @@ class NovafsTarget final : public Target {
     opt_.merge_threshold = 4;
     opt_.clean_threshold = 6;
     opt_.log_checksum = log_checksum_;
+    opt_.batch_log_appends = batch_appends_;
     fs_ = std::make_unique<nova::NovaFs>(*ns_, opt_);
     sim::ThreadCtx ctx = make_thread(0);
     fs_->format(ctx);
@@ -335,6 +377,29 @@ class NovafsTarget final : public Target {
                                       static_cast<std::uint8_t>('A' + op % 26));
         const int ino = fs_->open(ctx, name);
         fs_->write(ctx, ino, page * nova::NovaFs::kPageSize, buf);
+      } else if (batch_appends_ && action == 3) {
+        // Rename onto another live name. Batched, the deletion + insertion
+        // dirents commit as one atomic directory-log burst, so the model
+        // can move the file atomically; the per-entry path cannot promise
+        // this (a crash between the dirents loses both names).
+        const std::string& to = names[rng.uniform(3)];
+        if (to != name) {
+          cur_[to] = cur_[name];
+          cur_.erase(name);
+          fs_->rename(ctx, name, to);
+        }
+      } else if (batch_appends_ && action == 4) {
+        // Write straddling a page boundary: two embedded entries, which
+        // only the batched log path commits atomically (one chunk).
+        const std::uint64_t page = rng.uniform(2);
+        const std::uint64_t len = 200 + rng.uniform(400);
+        const std::uint64_t off =
+            (page + 1) * nova::NovaFs::kPageSize - len / 2;
+        write_model(name, off, len, static_cast<char>('a' + op % 26));
+        std::vector<std::uint8_t> buf(len,
+                                      static_cast<std::uint8_t>('a' + op % 26));
+        const int ino = fs_->open(ctx, name);
+        fs_->write(ctx, ino, off, buf);
       } else {
         // Small write, embedded in the log; stays inside one page.
         const std::uint64_t page = rng.uniform(3);
@@ -416,6 +481,7 @@ class NovafsTarget final : public Target {
   }
 
   bool log_checksum_;
+  bool batch_appends_;
   std::unique_ptr<hw::Platform> platform_;
   hw::PmemNamespace* ns_ = nullptr;
   nova::NovaOptions opt_;
@@ -662,11 +728,13 @@ std::unique_ptr<Target> make_pmemlib_target(bool inject_commit_fault) {
   return std::make_unique<PmemlibTarget>(inject_commit_fault);
 }
 std::unique_ptr<Target> make_lsmkv_target(kv::WalMode mode,
-                                          bool wal_checksum) {
-  return std::make_unique<LsmkvTarget>(mode, wal_checksum);
+                                          bool wal_checksum,
+                                          bool group_commit) {
+  return std::make_unique<LsmkvTarget>(mode, wal_checksum, group_commit);
 }
-std::unique_ptr<Target> make_novafs_target(bool log_checksum) {
-  return std::make_unique<NovafsTarget>(log_checksum);
+std::unique_ptr<Target> make_novafs_target(bool log_checksum,
+                                           bool batch_appends) {
+  return std::make_unique<NovafsTarget>(log_checksum, batch_appends);
 }
 std::unique_ptr<Target> make_cmap_target() {
   return std::make_unique<CmapTarget>();
@@ -679,7 +747,10 @@ std::vector<std::unique_ptr<Target>> all_targets(bool checksums) {
   std::vector<std::unique_ptr<Target>> targets;
   targets.push_back(make_pmemlib_target());
   targets.push_back(make_lsmkv_target(kv::WalMode::kFlex, checksums));
+  targets.push_back(make_lsmkv_target(kv::WalMode::kFlex, checksums,
+                                      /*group_commit=*/true));
   targets.push_back(make_novafs_target(checksums));
+  targets.push_back(make_novafs_target(checksums, /*batch_appends=*/true));
   targets.push_back(make_cmap_target());
   targets.push_back(make_stree_target());
   return targets;

@@ -38,15 +38,24 @@ namespace xp::crashmc {
 // negative tests can prove the harness catches a real protocol bug.
 std::unique_ptr<Target> make_pmemlib_target(bool inject_commit_fault = false);
 // `wal_checksum` turns on per-record WAL CRCs (detects torn/garbage WAL
-// bytes, not just poison); used by the fault campaign.
+// bytes, not just poison); used by the fault campaign. `group_commit`
+// runs the workload through Db::put_batch groups — the acknowledged unit
+// becomes the batch, and a crash inside a group must roll back to the
+// previous group boundary.
 std::unique_ptr<Target> make_lsmkv_target(
-    kv::WalMode mode = kv::WalMode::kFlex, bool wal_checksum = false);
+    kv::WalMode mode = kv::WalMode::kFlex, bool wal_checksum = false,
+    bool group_commit = false);
 // `log_checksum` appends per-entry CRC footers to the inode logs.
-std::unique_ptr<Target> make_novafs_target(bool log_checksum = false);
+// `batch_appends` coalesces multi-entry operations into atomic log
+// bursts and adds the operations only that mode makes atomic (renames,
+// page-straddling embedded writes) to the workload.
+std::unique_ptr<Target> make_novafs_target(bool log_checksum = false,
+                                           bool batch_appends = false);
 std::unique_ptr<Target> make_cmap_target();
 std::unique_ptr<Target> make_stree_target();
 
-// The standard panel: pmemlib, lsmkv (FLEX WAL), novafs, cmap, stree.
+// The standard panel: pmemlib, lsmkv (FLEX WAL, per-record and group
+// commit), novafs (per-entry and batched log appends), cmap, stree.
 // `checksums` enables the WAL/log CRC options on the stores that have
 // them (the fault campaign's configuration).
 std::vector<std::unique_ptr<Target>> all_targets(bool checksums = false);

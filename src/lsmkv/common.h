@@ -34,6 +34,18 @@ struct DbOptions {
   // default so the Fig 8 record format and timing are unchanged.
   bool wal_checksum = false;
 
+  // Group commit (§5.1/§5.2): coalesce WAL records into one contiguous
+  // XPLine-friendly burst with a single terminator + fence (+ sync) per
+  // group instead of per record. Records are acknowledged durable only at
+  // the group boundary; a crash mid-group rolls back to the previous
+  // group (the batch appears atomically or not at all). Off by default so
+  // the Fig 8 record-at-a-time path and timing are unchanged.
+  bool wal_group_commit = false;
+  // Puts buffered before the filling thread commits the pending group
+  // (the leader/follower pattern; Db::put_batch commits its records as
+  // one explicit group regardless of this threshold).
+  std::size_t wal_group_size = 8;
+
   // CPU-side costs (simulated time) for work that doesn't touch the
   // memory system model: DRAM-structure operations and syscalls.
   sim::Time cpu_memtable_op = sim::ns(250);

@@ -91,6 +91,7 @@ bool Db::open(sim::ThreadCtx& ctx) {
   opts_.wal_checksum = (m.flags & 1u) != 0;
 
   memtable_.clear();
+  pending_.clear();
   if (opts_.wal != WalMode::kNone) {
     wal_ = std::make_unique<Wal>(pool_.ns(), m.wal_base, m.wal_capacity,
                                  opts_.wal, opts_);
@@ -131,10 +132,47 @@ void Db::write_record(sim::ThreadCtx& ctx, std::string_view key,
   if (opts_.memtable == MemtableMode::kPersistent) {
     pskip_->put(ctx, key, value, tombstone);
     pskip_bytes_ += key.size() + value.size();
+  } else if (opts_.wal_group_commit) {
+    // Leader/follower group commit: buffer the record (already readable
+    // through the memtable) and let the write that fills the group commit
+    // the whole burst. Durability is acknowledged at group boundaries.
+    pending_.push_back({std::string(key), std::string(value), tombstone});
+    memtable_.put(ctx, key, value, tombstone);
+    if (pending_.size() >= opts_.wal_group_size) commit_pending(ctx);
   } else {
     wal_->append(ctx, key, value, tombstone, opts_.sync_every_op);
     memtable_.put(ctx, key, value, tombstone);
   }
+  maybe_flush(ctx);
+}
+
+void Db::commit_pending(sim::ThreadCtx& ctx) {
+  if (pending_.empty()) return;
+  std::vector<WalRecord> recs;
+  recs.reserve(pending_.size());
+  for (const PendingRec& p : pending_)
+    recs.push_back({p.key, p.value, p.tombstone});
+  wal_->append_group(ctx, recs, opts_.sync_every_op);
+  pending_.clear();
+}
+
+void Db::put_batch(sim::ThreadCtx& ctx, std::span<const WalRecord> recs) {
+  if (recs.empty()) return;
+  for (const WalRecord& r : recs) ++(r.tombstone ? stats_.deletes : stats_.puts);
+  if (opts_.memtable == MemtableMode::kPersistent) {
+    // No WAL to group; fall back to per-record persistent-memtable writes.
+    for (const WalRecord& r : recs) {
+      pskip_->put(ctx, r.key, r.value, r.tombstone);
+      pskip_bytes_ += r.key.size() + r.value.size();
+    }
+    maybe_flush(ctx);
+    return;
+  }
+  // Earlier buffered singles commit first so WAL order matches op order.
+  commit_pending(ctx);
+  wal_->append_group(ctx, recs, opts_.sync_every_op);
+  for (const WalRecord& r : recs)
+    memtable_.put(ctx, r.key, r.value, r.tombstone);
   maybe_flush(ctx);
 }
 
@@ -343,7 +381,7 @@ void Db::flush(sim::ThreadCtx& ctx) {
     pmem::Tx tx(pool_, ctx);
     const std::uint64_t size = SsTable::encoded_size(entries);
     const std::uint64_t off = pool_.tx_alloc(tx, size);
-    SsTable::build(ctx, pool_.ns(), off, entries);
+    SsTable::build(ctx, pool_.ns(), off, entries, &sst_scratch_);
     stats_.sst_bytes_written += size;
 
     m.l0[m.n_l0++] = TableRef{off, size};
@@ -368,6 +406,9 @@ void Db::flush(sim::ThreadCtx& ctx) {
   } else {
     memtable_.clear();
     wal_->truncate(ctx);
+    // Buffered-but-uncommitted group records just became durable via the
+    // SSTable (they were in the flushed memtable); nothing left to log.
+    pending_.clear();
   }
 
   if (m.n_l0 >= opts_.l0_compaction_trigger) compact(ctx, m);
@@ -405,7 +446,7 @@ void Db::compact(sim::ThreadCtx& ctx, Manifest m) {
   if (!entries.empty()) {
     const std::uint64_t size = SsTable::encoded_size(entries);
     const std::uint64_t off = pool_.tx_alloc(tx, size);
-    SsTable::build(ctx, pool_.ns(), off, entries);
+    SsTable::build(ctx, pool_.ns(), off, entries, &sst_scratch_);
     stats_.sst_bytes_written += size;
     out.l1[out.n_l1++] = TableRef{off, size};
   }

@@ -75,6 +75,19 @@ class Db {
   void del(sim::ThreadCtx& ctx, std::string_view key);
   bool get(sim::ThreadCtx& ctx, std::string_view key, std::string* value);
 
+  // Write a batch of records as one WAL group commit (one terminator +
+  // fence + sync for the whole batch, §5.1/§5.2). The batch is
+  // crash-atomic: recovery sees all of it or none of it. Falls back to
+  // per-record writes when the store has no WAL (persistent memtable).
+  void put_batch(sim::ThreadCtx& ctx, std::span<const WalRecord> recs);
+
+  // With DbOptions::wal_group_commit, individual put()/del() calls buffer
+  // their WAL records; the thread whose write fills the group (the
+  // leader) commits the burst for everyone. Callers needing durability at
+  // a specific point force the pending group out with this.
+  void commit_pending(sim::ThreadCtx& ctx);
+  std::size_t pending_records() const { return pending_.size(); }
+
   // Force a memtable flush (normally automatic at memtable_bytes).
   void flush(sim::ThreadCtx& ctx);
 
@@ -138,6 +151,16 @@ class Db {
   std::uint64_t pskip_bytes_ = 0;  // approximate, rebuilt on open
   DbStats stats_;
   RecoveryInfo recovery_;
+  // Pending WAL group (wal_group_commit): records buffered since the
+  // last group commit. They are already in the memtable (readable) but
+  // not yet acknowledged durable.
+  struct PendingRec {
+    std::string key;
+    std::string value;
+    bool tombstone;
+  };
+  std::vector<PendingRec> pending_;
+  std::vector<std::uint8_t> sst_scratch_;  // reused SSTable build buffer
 };
 
 }  // namespace xp::kv

@@ -19,9 +19,12 @@ std::uint64_t SsTable::encoded_size(const std::vector<Entry>& entries) {
 
 std::uint64_t SsTable::build(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
                              std::uint64_t off,
-                             const std::vector<Entry>& entries) {
+                             const std::vector<Entry>& entries,
+                             std::vector<std::uint8_t>* scratch) {
   const std::uint64_t total = encoded_size(entries);
-  std::vector<std::uint8_t> buf(total);
+  std::vector<std::uint8_t> local;
+  std::vector<std::uint8_t>& buf = scratch != nullptr ? *scratch : local;
+  buf.resize(total);  // every byte below is overwritten; stale reuse is fine
 
   BloomBuilder bloom(entries.size());
   for (const Entry& e : entries) bloom.add(e.key);

@@ -38,9 +38,13 @@ class SsTable {
   static std::uint64_t encoded_size(const std::vector<Entry>& entries);
 
   // Serialize sorted `entries` to ns[off..]; returns bytes written.
+  // `scratch` (optional) is the staging buffer to reuse across builds —
+  // every byte of it is rewritten, so callers can hand in the same
+  // vector repeatedly and skip the per-build heap allocation.
   static std::uint64_t build(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
                              std::uint64_t off,
-                             const std::vector<Entry>& entries);
+                             const std::vector<Entry>& entries,
+                             std::vector<std::uint8_t>* scratch = nullptr);
 
   static FindResult get(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
                         std::uint64_t off, std::string_view key,

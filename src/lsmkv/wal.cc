@@ -34,18 +34,19 @@ void Wal::append(ThreadCtx& ctx, std::string_view key, std::string_view value,
   if (mode_ == WalMode::kPosix) ctx.advance_by(opts_.syscall);
 
   // Payload first (vlen [+ crc] + key + value), then the tag makes it
-  // valid.
-  std::vector<std::uint8_t> buf(rec_len);
-  std::memcpy(buf.data(), &tag, 4);
-  std::memcpy(buf.data() + 4, &vlen, 4);
-  std::memcpy(buf.data() + hdr_len, key.data(), key.size());
+  // valid. scratch_ is a member so steady-state appends allocate nothing.
+  scratch_.resize(rec_len);
+  std::uint8_t* buf_data = scratch_.data();
+  std::memcpy(buf_data, &tag, 4);
+  std::memcpy(buf_data + 4, &vlen, 4);
+  std::memcpy(buf_data + hdr_len, key.data(), key.size());
   if (!value.empty())  // tombstones carry a null, zero-length value view
-    std::memcpy(buf.data() + hdr_len + key.size(), value.data(),
+    std::memcpy(buf_data + hdr_len + key.size(), value.data(),
                 value.size());
   if (opts_.wal_checksum) {
-    std::uint32_t crc = sim::crc32c(buf.data(), 8);
-    crc = sim::crc32c(buf.data() + hdr_len, rec_len - hdr_len, crc);
-    std::memcpy(buf.data() + 8, &crc, 4);
+    std::uint32_t crc = sim::crc32c(buf_data, 8);
+    crc = sim::crc32c(buf_data + hdr_len, rec_len - hdr_len, crc);
+    std::memcpy(buf_data + 8, &crc, 4);
   }
 
   const std::uint64_t at = base_ + tail_;
@@ -57,12 +58,66 @@ void Wal::append(ThreadCtx& ctx, std::string_view key, std::string_view value,
               std::span<const std::uint8_t>(
                   reinterpret_cast<const std::uint8_t*>(&zero), 4));
   write_bytes(ctx, at + 4,
-              std::span<const std::uint8_t>(buf.data() + 4, rec_len - 4));
+              std::span<const std::uint8_t>(buf_data + 4, rec_len - 4));
   ns_.sfence(ctx);
-  write_bytes(ctx, at, std::span<const std::uint8_t>(buf.data(), 4));
+  write_bytes(ctx, at, std::span<const std::uint8_t>(buf_data, 4));
 
   tail_ += rec_len;
   bytes_appended_ += rec_len;
+  if (sync_now) sync(ctx);
+}
+
+void Wal::append_group(ThreadCtx& ctx, std::span<const WalRecord> recs,
+                       bool sync_now) {
+  if (recs.empty()) return;
+  const std::size_t hdr_len = opts_.wal_checksum ? 12 : 8;
+
+  // One gathered write() syscall for the whole group in kPosix mode.
+  if (mode_ == WalMode::kPosix) ctx.advance_by(opts_.syscall);
+
+  // Stage the whole group contiguously: [rec 1 | rec 2 | ... | rec N |
+  // u32 0 terminator]. The records keep the exact per-record format, so
+  // replay() needs no changes and mixed per-record/group logs replay
+  // fine.
+  batch_.reset(base_ + tail_);
+  for (const WalRecord& r : recs) {
+    assert(r.key.size() < 0x10000);
+    const std::uint32_t tag =
+        kTagMagic | static_cast<std::uint32_t>(r.key.size());
+    const std::uint32_t vlen = static_cast<std::uint32_t>(r.value.size()) |
+                               (r.tombstone ? kTombstoneBit : 0);
+    const std::size_t at = batch_.append_pod(tag);
+    batch_.append_pod(vlen);
+    if (opts_.wal_checksum) batch_.append_zeros(4);
+    batch_.append(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(r.key.data()), r.key.size()));
+    if (!r.value.empty())
+      batch_.append(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(r.value.data()),
+          r.value.size()));
+    if (opts_.wal_checksum) {
+      std::uint32_t crc = sim::crc32c(batch_.data() + at, 8);
+      crc = sim::crc32c(batch_.data() + at + hdr_len,
+                        batch_.size() - at - hdr_len, crc);
+      std::memcpy(batch_.data() + at + 8, &crc, 4);
+    }
+  }
+  const std::uint32_t zero = 0;
+  batch_.append_pod(zero);  // terminator for the whole group
+  assert(tail_ + batch_.size() + 4 <= capacity_ && "WAL full; truncate first");
+
+  // Crash-atomic publish: everything after the first record's tag —
+  // its body, all later records whole, and the terminator — is persisted
+  // by one burst + fence; then the first tag makes the group visible.
+  // Replay stops at that tag while it is still the old terminator, so a
+  // torn group is invisible.
+  batch_.commit(ctx, ns_, /*hold=*/4,
+                mode_ == WalMode::kPosix ? pmem::WriteHint::kCached
+                                         : pmem::WriteHint::kAuto);
+
+  const std::uint64_t group_bytes = batch_.size() - 4;  // minus terminator
+  tail_ += group_bytes;
+  bytes_appended_ += group_bytes;
   if (sync_now) sync(ctx);
 }
 

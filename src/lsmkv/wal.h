@@ -19,16 +19,26 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "lsmkv/common.h"
+#include "pmemlib/linebatch.h"
 #include "xpsim/platform.h"
 
 namespace xp::kv {
 
 using hw::PmemNamespace;
 using sim::ThreadCtx;
+
+// One record of a group append (views must outlive the call).
+struct WalRecord {
+  std::string_view key;
+  std::string_view value;
+  bool tombstone = false;
+};
 
 class Wal {
  public:
@@ -43,6 +53,15 @@ class Wal {
   // Append a record; durable when `sync` is true.
   void append(ThreadCtx& ctx, std::string_view key, std::string_view value,
               bool tombstone, bool sync);
+
+  // Group commit (§5.1/§5.2): append `recs` as one contiguous burst with
+  // a single terminator and one fence for the whole group. The group is
+  // crash-atomic — the first record's tag is written only after the fence
+  // that makes every body, every later tag and the terminator durable, so
+  // replay sees all of the group or none of it. One syscall charge (a
+  // gathered write()) in kPosix mode.
+  void append_group(ThreadCtx& ctx, std::span<const WalRecord> recs,
+                    bool sync);
 
   // Make all prior appends durable.
   void sync(ThreadCtx& ctx);
@@ -83,6 +102,11 @@ class Wal {
   const DbOptions& opts_;
   std::uint64_t tail_ = 0;  // next append offset, relative to base_
   std::uint64_t bytes_appended_ = 0;
+  // Reused staging memory: append() serializes into scratch_ and
+  // append_group() coalesces into batch_, so steady-state appends do no
+  // heap allocation.
+  std::vector<std::uint8_t> scratch_;
+  pmem::LineBatcher batch_;
 };
 
 }  // namespace xp::kv

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "novafs/vfs.h"
+#include "pmemlib/linebatch.h"
 #include "sim/status.h"
 
 namespace xp::nova {
@@ -44,6 +45,13 @@ struct NovaOptions {
   // replay/fsck; a mismatch truncates the log at the damage point. Off by
   // default so the stock entry format and timing are unchanged.
   bool log_checksum = false;
+  // Coalesce multi-entry log appends (multi-segment writes, rename) into
+  // one contiguous burst per inode log: a single terminator + fence pair
+  // and one tail persist for the whole batch instead of per entry
+  // (§5.1/§5.2). The batch commits atomically — replay sees all of its
+  // entries or none — which is also what makes rename() atomic. Off by
+  // default so the stock entry-at-a-time path and timing are unchanged.
+  bool batch_log_appends = false;
   FsCosts costs{};
 };
 
@@ -98,6 +106,13 @@ class NovaFs final : public FileSystem {
   // logged in the directory so it survives remount. Returns false if the
   // name does not exist.
   bool unlink(ThreadCtx& ctx, const std::string& name);
+  // Rename `from` to `to`, replacing `to` if it exists. With
+  // batch_log_appends the deletion and insertion dirents commit as one
+  // atomic directory-log batch (a crash never loses or doubles the
+  // name); without it they are two sequential appends, and a crash
+  // between them can leave the file reachable under neither name.
+  // Returns false if `from` does not exist.
+  bool rename(ThreadCtx& ctx, const std::string& from, const std::string& to);
   // Shrink or extend the file. Shrinking discards data beyond new_size
   // (re-extension reads zeros); extension is a metadata-only size bump.
   void truncate(ThreadCtx& ctx, int ino, std::uint64_t new_size);
@@ -194,6 +209,25 @@ class NovaFs final : public FileSystem {
   std::uint64_t log_append(ThreadCtx& ctx, unsigned ino, const LogEntry& e,
                            std::span<const std::uint8_t> payload);
 
+  // Batched variant (batch_log_appends): append several entries to one
+  // inode's log as coalesced bursts — the batch is split into chunks of
+  // consecutive entries sized to the log page, each chunk getting one
+  // terminator + fence pair, with one tail persist for the whole batch.
+  // Crash-atomic per chunk: a chunk's first magic word is persisted
+  // after everything else in it, so replay sees a durable prefix of
+  // whole chunks, never a torn entry. Returns each entry's ns offset,
+  // in order.
+  struct PendingEntry {
+    LogEntry e;
+    std::span<const std::uint8_t> payload;
+  };
+  std::vector<std::uint64_t> log_append_batch(
+      ThreadCtx& ctx, unsigned ino, std::span<const PendingEntry> entries);
+
+  // Make room in `ino`'s log for `needed` more bytes (+terminator):
+  // allocates and links a fresh log page when the current one is full.
+  void ensure_log_space(ThreadCtx& ctx, unsigned ino, std::uint32_t needed);
+
   void replay_inode(ThreadCtx& ctx, unsigned ino);
   void apply_entry(ThreadCtx& ctx, unsigned ino, std::uint64_t entry_off,
                    const LogEntry& e, bool during_replay);
@@ -241,6 +275,7 @@ class NovaFs final : public FileSystem {
   // Set while the cleaner rebuilds a log so the atomic head switch can
   // happen once, after the whole replacement chain is persisted.
   bool suppress_head_persist_ = false;
+  pmem::LineBatcher batch_;  // reused staging for log_append_batch
 };
 
 }  // namespace xp::nova

@@ -24,6 +24,10 @@ T peek_pod(const hw::PmemNamespace& ns, std::uint64_t off) {
 // is high (its DRAM curve tops out near 10 GB/s in the paper's Fig 19);
 // this constant reproduces that software-bound ceiling.
 constexpr sim::Time kCpuOpCost = sim::ns(600);
+
+// Writer-lane stream ids live far above any simulated thread id, so a
+// lane never aliases a real thread's stream in the DIMM tracker.
+constexpr unsigned kLaneStreamBase = 1u << 16;
 }  // namespace
 
 void CMap::create(sim::ThreadCtx& ctx) {
@@ -38,6 +42,36 @@ void CMap::create(sim::ThreadCtx& ctx) {
 
 void CMap::open(sim::ThreadCtx& ctx) {
   table_ = pool_.ns().load_pod<std::uint64_t>(ctx, pool_.root(ctx));
+  reset_admission();  // queue contents never survive a restart
+}
+
+void CMap::admit_writer(sim::ThreadCtx& ctx, std::uint64_t off) {
+  if (opts_.max_writers_per_dimm == 0) return;
+  auto& ns = pool_.ns();
+  if (lanes_.empty())
+    lanes_.assign(ns.platform().timing().channels_per_socket, {});
+  const unsigned ch = ns.decode(off).channel % lanes_.size();
+  auto& free_at = lanes_[ch].free_at;
+  if (free_at.empty()) free_at.assign(opts_.max_writers_per_dimm, 0);
+  // Take the lane that frees up earliest, waiting for it if every lane
+  // is still busy. The lane — not the issuing thread — is the stream
+  // identity the DIMM sees, so a capped DIMM observes at most `cap`
+  // write streams and its 4-entry stream tracker stays hot instead of
+  // missing on every new XPLine under a rotating thread set.
+  unsigned lane = 0;
+  for (unsigned i = 1; i < free_at.size(); ++i)
+    if (free_at[i] < free_at[lane]) lane = i;
+  ctx.advance_to(free_at[lane]);
+  admitted_lane_ = lane;
+  ctx.set_write_stream(kLaneStreamBase + ch * opts_.max_writers_per_dimm +
+                       lane);
+}
+
+void CMap::release_writer(sim::ThreadCtx& ctx, std::uint64_t off) {
+  if (opts_.max_writers_per_dimm == 0) return;
+  auto& lanes = lanes_[pool_.ns().decode(off).channel % lanes_.size()];
+  lanes.free_at[admitted_lane_] = ctx.now();
+  ctx.clear_write_stream();
 }
 
 CMap::Located CMap::locate(sim::ThreadCtx& ctx, std::string_view key) {
@@ -67,11 +101,15 @@ void CMap::put(sim::ThreadCtx& ctx, std::string_view key,
   Located loc = locate(ctx, key);
   if (loc.node != 0 && loc.header.vlen == value.size()) {
     // In-place value update (the `overwrite` fast path).
-    ns.store_flush(ctx, loc.node + sizeof(NodeHeader) + loc.header.klen,
+    const std::uint64_t dst =
+        loc.node + sizeof(NodeHeader) + loc.header.klen;
+    admit_writer(ctx, dst);
+    ns.store_flush(ctx, dst,
                    std::span<const std::uint8_t>(
                        reinterpret_cast<const std::uint8_t*>(value.data()),
                        value.size()));
     ns.sfence(ctx);
+    release_writer(ctx, dst);
     return;
   }
 
@@ -80,6 +118,7 @@ void CMap::put(sim::ThreadCtx& ctx, std::string_view key,
       sizeof(NodeHeader) + key.size() + value.size();
   pmem::Tx tx(pool_, ctx);
   const std::uint64_t node = pool_.tx_alloc(tx, node_size);
+  admit_writer(ctx, node);
   NodeHeader hd{};
   hd.next = loc.node != 0 ? loc.header.next
                           : ns.load_pod<std::uint64_t>(ctx, loc.pred_link);
@@ -99,6 +138,7 @@ void CMap::put(sim::ThreadCtx& ctx, std::string_view key,
     pool_.tx_free(tx, loc.node,
                   sizeof(NodeHeader) + loc.header.klen + loc.header.vlen);
   tx.commit();
+  release_writer(ctx, node);
 }
 
 bool CMap::get(sim::ThreadCtx& ctx, std::string_view key,

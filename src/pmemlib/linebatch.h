@@ -1,0 +1,120 @@
+// Software write-combining for persistent appends (paper §5.2, Fig 15).
+//
+// The XP DIMM's combining buffer only merges stores that arrive close
+// together in its 16-slot window; a store stream that dribbles sub-XPLine
+// records with a fence after each one defeats it, paying a full 256 B
+// media write (or an RMW) per small record. A LineBatcher coalesces the
+// records in DRAM first and emits them as one contiguous burst, so the
+// device sees full 256 B XPLines except at the two batch edges and the
+// caller pays one drain fence per *batch* instead of one per record.
+//
+// Usage:
+//   batcher.reset(off);             // batch starts at namespace offset
+//   batcher.append(bytes); ...      // stage records back to back
+//   batcher.commit(ctx, ns, hold);  // publish: everything after the
+//                                   // first `hold` bytes, fence, then
+//                                   // the held-back commit word
+//
+// `commit(hold)` implements the standard log-publish protocol: the first
+// `hold` bytes (the record's magic/tag word) are written only after the
+// fence that makes the rest durable, so a torn batch is invisible to
+// recovery — it atomically appears whole or not at all. `flush` is the
+// plain variant for callers that order durability themselves.
+//
+// The staging buffer is a reused member (capacity sticks across
+// batches): steady-state appends allocate nothing.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "pmemlib/pmem_ops.h"
+
+namespace xp::pmem {
+
+class LineBatcher {
+ public:
+  // Start a new batch at namespace offset `off`. Keeps the buffer
+  // capacity from previous batches.
+  void reset(std::uint64_t off) {
+    base_ = off;
+    buf_.clear();
+  }
+
+  // Stage `data` at the current cursor; returns the batch-relative
+  // offset it was staged at.
+  std::size_t append(std::span<const std::uint8_t> data) {
+    const std::size_t at = buf_.size();
+    buf_.insert(buf_.end(), data.begin(), data.end());
+    return at;
+  }
+
+  template <typename T>
+  std::size_t append_pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return append(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(&v), sizeof(T)));
+  }
+
+  // Reserve `n` zero bytes (e.g. alignment padding inside a batch).
+  std::size_t append_zeros(std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.resize(buf_.size() + n, 0);
+    return at;
+  }
+
+  // Staged bytes are patchable until the batch is written (checksums,
+  // back-pointers).
+  std::uint8_t* data() { return buf_.data(); }
+  const std::uint8_t* data() const { return buf_.data(); }
+  std::size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+  std::uint64_t base() const { return base_; }
+  // Namespace offset one past the staged bytes.
+  std::uint64_t cursor() const { return base_ + buf_.size(); }
+
+  // Write the whole batch (no fence; callers order durability).
+  void flush(ThreadCtx& ctx, PmemNamespace& ns,
+             WriteHint hint = WriteHint::kAuto) {
+    if (!buf_.empty()) write(ctx, ns, base_, buf_, hint);
+  }
+
+  // Publish the batch: bytes [hold, size) first, one fence, then the
+  // held-back prefix [0, hold). No trailing fence — the caller decides
+  // when the commit word itself must be durable (usually its next
+  // sfence/sync). `hold` = 0 degenerates to flush + fence.
+  void commit(ThreadCtx& ctx, PmemNamespace& ns, std::size_t hold = 0,
+              WriteHint hint = WriteHint::kAuto) {
+    assert(hold <= buf_.size());
+    if (buf_.size() > hold)
+      write(ctx, ns, base_ + hold,
+            std::span<const std::uint8_t>(buf_.data() + hold,
+                                          buf_.size() - hold),
+            hint);
+    ns.sfence(ctx);
+    if (hold > 0)
+      write(ctx, ns, base_,
+            std::span<const std::uint8_t>(buf_.data(), hold), hint);
+  }
+
+ private:
+  static void write(ThreadCtx& ctx, PmemNamespace& ns, std::uint64_t off,
+                    std::span<const std::uint8_t> data, WriteHint hint) {
+    const bool use_nt =
+        hint == WriteHint::kNt ||
+        (hint == WriteHint::kAuto && data.size() >= kNtCrossoverBytes);
+    if (use_nt) {
+      ns.ntstore(ctx, off, data);
+    } else {
+      ns.store_flush(ctx, off, data);
+    }
+  }
+
+  std::uint64_t base_ = 0;
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace xp::pmem

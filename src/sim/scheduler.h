@@ -44,6 +44,17 @@ class ThreadCtx {
   unsigned mlp() const { return mlp_; }
   Rng& rng() { return rng_; }
 
+  // Write-stream identity presented to the memory device. Defaults to the
+  // thread id; software that funnels its stores through a bounded set of
+  // writer lanes (paper §5.3: limit the writers per XP DIMM so its 4-entry
+  // stream tracker stays hot) sets the lane id here for the duration of
+  // the write, so the DIMM sees the lane, not the issuing thread.
+  unsigned write_stream() const {
+    return write_stream_ == kOwnStream ? id_ : write_stream_;
+  }
+  void set_write_stream(unsigned s) { write_stream_ = s; }
+  void clear_write_stream() { write_stream_ = kOwnStream; }
+
   Time now() const { return now_; }
   void advance_to(Time t) {
     if (t > now_) now_ = t;
@@ -82,11 +93,14 @@ class ThreadCtx {
   bool has_inflight() const { return !inflight_.empty(); }
 
  private:
+  static constexpr unsigned kOwnStream = ~0u;
+
   unsigned id_;
   unsigned socket_;
   unsigned mlp_;
   Rng rng_;
   Time now_ = 0;
+  unsigned write_stream_ = kOwnStream;
   std::deque<Time> inflight_;
 };
 

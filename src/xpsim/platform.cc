@@ -499,8 +499,8 @@ Time Platform::device_write64(ThreadCtx& ctx, PmemNamespace& ns,
     ack = sockets_[ns.socket()].mm[da.channel]->write64(t, da.addr,
                                                         ctx.id());
   } else if (ns.device() == Device::kXp) {
-    ack = sockets_[ns.socket()].xp[da.channel]->write64(t, da.addr, ctx.id(),
-                                                        &admit_wait);
+    ack = sockets_[ns.socket()].xp[da.channel]->write64(
+        t, da.addr, ctx.write_stream(), &admit_wait);
   } else {
     ack = sockets_[ns.socket()].dram[da.channel]->write64(
         t, da.addr, ns.opts_.emulation.write_slowdown, &admit_wait);

@@ -66,6 +66,24 @@ TEST(CrashMcSweep, Novafs) {
   expect_clean_sweep(*t, {.max_exhaustive = 256, .samples = 200}, 200);
 }
 
+// Group commit: a crash anywhere inside a put_batch group must recover
+// to the previous group boundary — never a torn group.
+TEST(CrashMcSweep, LsmkvFlexGroupCommit) {
+  auto t = crashmc::make_lsmkv_target(kv::WalMode::kFlex,
+                                      /*wal_checksum=*/false,
+                                      /*group_commit=*/true);
+  expect_clean_sweep(*t, {.max_exhaustive = 256, .samples = 220}, 220);
+}
+
+// Batched log appends: renames and page-straddling writes commit as one
+// atomic burst; a crash inside the burst must not leave a half-applied
+// operation (a file under neither name, a write half-visible).
+TEST(CrashMcSweep, NovafsBatchedAppends) {
+  auto t = crashmc::make_novafs_target(/*log_checksum=*/false,
+                                       /*batch_appends=*/true);
+  expect_clean_sweep(*t, {.max_exhaustive = 256, .samples = 200}, 200);
+}
+
 TEST(CrashMcSweep, Cmap) {
   auto t = crashmc::make_cmap_target();
   expect_clean_sweep(*t, {.max_exhaustive = 200, .samples = 180}, 180);
