@@ -29,7 +29,9 @@ echo "== bench_timing (jobs=$JOBS) =="
 
 echo
 echo "== bench_stores (jobs=$JOBS) =="
-# Exits non-zero if its serial vs parallel grids diverge (determinism).
+# Write-combining grid plus the §5.1 read grid (stock vs combined point
+# reads per store and the lsmkv read-cache capacity sweep). Exits
+# non-zero if its serial vs parallel grids diverge (determinism).
 "$BUILD/bench/bench_stores" --jobs "$JOBS" --host-cores "$CORES" \
     --out BENCH_stores.json
 

@@ -46,6 +46,22 @@ struct DbOptions {
   // one explicit group regardless of this threshold).
   std::size_t wal_group_size = 8;
 
+  // ---- Read path (§5.1), all off by default so the seed read behavior
+  // ---- and timing are unchanged ----------------------------------------
+  // DRAM residency for read-path metadata: the manifest plus every live
+  // SSTable's bloom filter and offset array are mirrored in DRAM (built
+  // from bytes already in hand at flush/compaction, loaded once at open),
+  // so point gets stop re-loading ~10 KB of filter per table per lookup.
+  bool sst_residency = false;
+  // XPLine-granular read combining: binary-search probes and value reads
+  // fetch whole 256 B lines through a pmem::LineReader instead of
+  // dribbling dependent 4-64 B loads.
+  bool read_combine = false;
+  // DRAM read-cache capacity in 256 B lines (0 = no cache; 4096 = 1 MiB).
+  // The cache backs the LineReader, so it only takes effect together with
+  // read_combine.
+  std::size_t read_cache_lines = 0;
+
   // CPU-side costs (simulated time) for work that doesn't touch the
   // memory system model: DRAM-structure operations and syscalls.
   sim::Time cpu_memtable_op = sim::ns(250);

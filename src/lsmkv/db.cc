@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <map>
 
 #include "pmemlib/pmem_ops.h"
@@ -9,11 +10,17 @@
 namespace xp::kv {
 
 Db::Manifest Db::load_manifest(sim::ThreadCtx& ctx) {
+  // Under sst_residency the manifest is mirrored in DRAM: every
+  // modification goes through store_manifest() in-process, so the mirror
+  // is always the committed manifest and point lookups skip a ~560 B PM
+  // load. (Recovery paths run before the mirror exists and read PM.)
+  if (manifest_cache_.has_value()) return *manifest_cache_;
   return pool_.ns().load_pod<Manifest>(ctx, root_off_);
 }
 
 void Db::store_manifest(sim::ThreadCtx& ctx, pmem::Tx& tx,
                         const Manifest& m) {
+  if (manifest_cache_.has_value()) *manifest_cache_ = m;
   tx.add(root_off_, sizeof(Manifest));
   tx.store(root_off_, std::span<const std::uint8_t>(
                           reinterpret_cast<const std::uint8_t*>(&m),
@@ -59,6 +66,58 @@ void Db::create(sim::ThreadCtx& ctx) {
     pskip_ = std::make_unique<PSkiplist>(pool_, m.pskiplist_root);
     pskip_->create(ctx);
   }
+  init_read_path(ctx, m, /*load_tables=*/false);
+}
+
+void Db::init_read_path(sim::ThreadCtx& ctx, const Manifest& m,
+                        bool load_tables) {
+  reader_.discard();
+  reader_.attach_cache(nullptr);
+  rcache_.reset();
+  residency_.clear();
+  manifest_cache_.reset();
+  if (opts_.read_cache_lines > 0) {
+    rcache_ = std::make_unique<pmem::ReadCache>(
+        pool_.ns(),
+        pmem::ReadCacheOptions{.capacity_lines = opts_.read_cache_lines});
+    reader_.attach_cache(rcache_.get());
+  }
+  if (!opts_.sst_residency) return;
+  manifest_cache_ = m;
+  if (load_tables) {
+    for (std::uint32_t i = 0; i < m.n_l0; ++i)
+      residency_.emplace(m.l0[i].off, SsTable::load_residency(
+                                          ctx, pool_.ns(), m.l0[i].off));
+    for (std::uint32_t i = 0; i < m.n_l1; ++i)
+      residency_.emplace(m.l1[i].off, SsTable::load_residency(
+                                          ctx, pool_.ns(), m.l1[i].off));
+  }
+}
+
+void Db::prune_residency(const Manifest& m) {
+  reader_.discard();
+  if (residency_.empty()) return;
+  auto live = [&](std::uint64_t off) {
+    for (std::uint32_t i = 0; i < m.n_l0; ++i)
+      if (m.l0[i].off == off) return true;
+    for (std::uint32_t i = 0; i < m.n_l1; ++i)
+      if (m.l1[i].off == off) return true;
+    return false;
+  };
+  for (auto it = residency_.begin(); it != residency_.end();) {
+    it = live(it->first) ? std::next(it) : residency_.erase(it);
+  }
+}
+
+SsTable::ReadCtx Db::read_ctx(std::uint64_t table_off) {
+  SsTable::ReadCtx rc;
+  rc.keybuf = &key_scratch_;
+  if (opts_.sst_residency) {
+    const auto it = residency_.find(table_off);
+    if (it != residency_.end()) rc.res = &it->second;
+  }
+  if (opts_.read_combine) rc.reader = &reader_;
+  return rc;
 }
 
 bool Db::open(sim::ThreadCtx& ctx) {
@@ -89,6 +148,9 @@ bool Db::open(sim::ThreadCtx& ctx) {
   opts_.wal = static_cast<WalMode>(m.wal_mode);
   opts_.memtable = static_cast<MemtableMode>(m.memtable_mode);
   opts_.wal_checksum = (m.flags & 1u) != 0;
+  // One-time residency load for the recovered table set (a flush during
+  // WAL replay keeps it current through store_manifest/flush).
+  init_read_path(ctx, m, /*load_tables=*/true);
 
   memtable_.clear();
   pending_.clear();
@@ -201,7 +263,8 @@ bool Db::get(sim::ThreadCtx& ctx, std::string_view key, std::string* value) {
   const Manifest m = load_manifest(ctx);
   // L0: newest (highest index) first.
   for (std::uint32_t i = m.n_l0; i-- > 0;) {
-    r = SsTable::get(ctx, pool_.ns(), m.l0[i].off, key, value);
+    r = SsTable::get_ex(ctx, pool_.ns(), m.l0[i].off, key, value,
+                        read_ctx(m.l0[i].off));
     if (r == FindResult::kFound) {
       ++stats_.get_hits;
       return true;
@@ -209,7 +272,8 @@ bool Db::get(sim::ThreadCtx& ctx, std::string_view key, std::string* value) {
     if (r == FindResult::kTombstone) return false;
   }
   for (std::uint32_t i = m.n_l1; i-- > 0;) {
-    r = SsTable::get(ctx, pool_.ns(), m.l1[i].off, key, value);
+    r = SsTable::get_ex(ctx, pool_.ns(), m.l1[i].off, key, value,
+                        read_ctx(m.l1[i].off));
     if (r == FindResult::kFound) {
       ++stats_.get_hits;
       return true;
@@ -340,6 +404,7 @@ void Db::repair(sim::ThreadCtx& ctx) {
     pmem::Tx tx(pool_, ctx);
     store_manifest(ctx, tx, out);
     tx.commit();
+    prune_residency(out);
   }
   pool_.repair(ctx);
   if (!bad.empty() && !pool_.recovery().heap_sealed) {
@@ -377,11 +442,15 @@ void Db::flush(sim::ThreadCtx& ctx) {
 
   Manifest m = load_manifest(ctx);
   assert(m.n_l0 < kMaxL0);
+  reader_.discard();
   {
     pmem::Tx tx(pool_, ctx);
     const std::uint64_t size = SsTable::encoded_size(entries);
     const std::uint64_t off = pool_.tx_alloc(tx, size);
-    SsTable::build(ctx, pool_.ns(), off, entries, &sst_scratch_);
+    SsTable::Residency res;
+    SsTable::build(ctx, pool_.ns(), off, entries, &sst_scratch_,
+                   opts_.sst_residency ? &res : nullptr);
+    if (opts_.sst_residency) residency_[off] = std::move(res);
     stats_.sst_bytes_written += size;
 
     m.l0[m.n_l0++] = TableRef{off, size};
@@ -446,12 +515,16 @@ void Db::compact(sim::ThreadCtx& ctx, Manifest m) {
   if (!entries.empty()) {
     const std::uint64_t size = SsTable::encoded_size(entries);
     const std::uint64_t off = pool_.tx_alloc(tx, size);
-    SsTable::build(ctx, pool_.ns(), off, entries, &sst_scratch_);
+    SsTable::Residency res;
+    SsTable::build(ctx, pool_.ns(), off, entries, &sst_scratch_,
+                   opts_.sst_residency ? &res : nullptr);
+    if (opts_.sst_residency) residency_[off] = std::move(res);
     stats_.sst_bytes_written += size;
     out.l1[out.n_l1++] = TableRef{off, size};
   }
   store_manifest(ctx, tx, out);
   tx.commit();
+  prune_residency(out);
 }
 
 }  // namespace xp::kv

@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "lsmkv/common.h"
 #include "lsmkv/memtable.h"
@@ -142,6 +143,17 @@ class Db {
   Manifest load_manifest(sim::ThreadCtx& ctx);
   void store_manifest(sim::ThreadCtx& ctx, pmem::Tx& tx, const Manifest& m);
 
+  // ---- read path (DbOptions::sst_residency / read_combine) ---------------
+  // Construct the per-open read-path state: the DRAM read cache (if
+  // configured) and, under sst_residency, the manifest mirror + residency
+  // for every table referenced by `m`. No-op with the knobs off.
+  void init_read_path(sim::ThreadCtx& ctx, const Manifest& m,
+                      bool load_tables);
+  // Drop residency entries for tables no longer in `m` (post-compaction /
+  // repair) and the reader's staged span.
+  void prune_residency(const Manifest& m);
+  SsTable::ReadCtx read_ctx(std::uint64_t table_off);
+
   DbOptions opts_;
   pmem::Pool pool_;
   Memtable memtable_;
@@ -161,6 +173,14 @@ class Db {
   };
   std::vector<PendingRec> pending_;
   std::vector<std::uint8_t> sst_scratch_;  // reused SSTable build buffer
+
+  // ---- read-path state (all empty/null with the knobs off) ---------------
+  std::optional<Manifest> manifest_cache_;  // DRAM mirror (sst_residency)
+  std::unordered_map<std::uint64_t, SsTable::Residency>
+      residency_;  // by table offset
+  std::unique_ptr<pmem::ReadCache> rcache_;
+  pmem::LineReader reader_;
+  std::string key_scratch_;  // reused binary-search probe key
 };
 
 }  // namespace xp::kv

@@ -20,7 +20,8 @@ std::uint64_t SsTable::encoded_size(const std::vector<Entry>& entries) {
 std::uint64_t SsTable::build(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
                              std::uint64_t off,
                              const std::vector<Entry>& entries,
-                             std::vector<std::uint8_t>* scratch) {
+                             std::vector<std::uint8_t>* scratch,
+                             Residency* residency) {
   const std::uint64_t total = encoded_size(entries);
   std::vector<std::uint8_t> local;
   std::vector<std::uint8_t>& buf = scratch != nullptr ? *scratch : local;
@@ -55,6 +56,15 @@ std::uint64_t SsTable::build(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
   assert(pos == total);
   h.crc = sim::crc32c(buf.data() + sizeof(Header), total - sizeof(Header));
   std::memcpy(buf.data(), &h, sizeof(h));
+
+  if (residency != nullptr) {
+    residency->count = h.count;
+    residency->filter.assign(buf.data() + sizeof(Header),
+                             buf.data() + sizeof(Header) + h.filter_len);
+    residency->offsets.resize(entries.size());
+    std::memcpy(residency->offsets.data(), buf.data() + offsets_at,
+                entries.size() * 4);
+  }
 
   // One big sequential non-temporal write (chunked to bound scheduler-step
   // atomicity), then a fence.
@@ -109,7 +119,7 @@ std::uint64_t SsTable::size_bytes(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
 
 FindResult SsTable::get(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
                         std::uint64_t off, std::string_view key,
-                        std::string* value) {
+                        std::string* value, std::string* keybuf) {
   const auto h = ns.load_pod<Header>(ctx, off);
   assert(h.magic == kMagic);
   // Bloom check first: absent keys skip the run with high probability.
@@ -120,12 +130,14 @@ FindResult SsTable::get(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
   const std::uint64_t offsets_at = off + sizeof(Header) + h.filter_len;
   const std::uint64_t data_at = offsets_at + h.count * 4;
 
+  std::string local;
+  std::string& k = keybuf != nullptr ? *keybuf : local;
   std::uint32_t lo = 0, hi = h.count;
   while (lo < hi) {
     const std::uint32_t mid = lo + (hi - lo) / 2;
     const auto rel = ns.load_pod<std::uint32_t>(ctx, offsets_at + mid * 4);
     const auto klen = ns.load_pod<std::uint32_t>(ctx, data_at + rel);
-    std::string k(klen, '\0');
+    k.resize(klen);
     ns.load(ctx, data_at + rel + 8,
             std::span<std::uint8_t>(
                 reinterpret_cast<std::uint8_t*>(k.data()), klen));
@@ -144,6 +156,122 @@ FindResult SsTable::get(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
                     reinterpret_cast<std::uint8_t*>(value->data()), vlen));
       }
       return FindResult::kFound;
+    }
+  }
+  return FindResult::kNotFound;
+}
+
+SsTable::Residency SsTable::load_residency(sim::ThreadCtx& ctx,
+                                           hw::PmemNamespace& ns,
+                                           std::uint64_t off) {
+  const auto h = ns.load_pod<Header>(ctx, off);
+  assert(h.magic == kMagic);
+  Residency r;
+  r.count = h.count;
+  r.filter.resize(h.filter_len);
+  if (h.filter_len > 0) ns.load(ctx, off + sizeof(Header), r.filter);
+  r.offsets.resize(h.count);
+  if (h.count > 0)
+    ns.load(ctx, off + sizeof(Header) + h.filter_len,
+            std::span<std::uint8_t>(
+                reinterpret_cast<std::uint8_t*>(r.offsets.data()),
+                std::size_t{h.count} * 4));
+  return r;
+}
+
+FindResult SsTable::get_ex(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                           std::uint64_t off, std::string_view key,
+                           std::string* value, const ReadCtx& rc) {
+  if (rc.res == nullptr && rc.reader == nullptr)
+    return get(ctx, ns, off, key, value, rc.keybuf);
+
+  std::uint32_t count;
+  std::uint32_t filter_len;
+  const std::uint8_t* fbits;
+  std::vector<std::uint8_t> filter_local;
+  if (rc.res != nullptr) {
+    count = rc.res->count;
+    filter_len = static_cast<std::uint32_t>(rc.res->filter.size());
+    fbits = rc.res->filter.data();
+  } else {
+    const auto h = rc.reader->fetch_pod<Header>(ctx, ns, off);
+    assert(h.magic == kMagic);
+    count = h.count;
+    filter_len = h.filter_len;
+    filter_local.resize(filter_len);
+    if (filter_len > 0)
+      rc.reader->read(ctx, ns, off + sizeof(Header), filter_local);
+    fbits = filter_local.data();
+  }
+  if (!BloomBuilder::may_contain(fbits, filter_len, key))
+    return FindResult::kNotFound;
+  const std::uint64_t offsets_at = off + sizeof(Header) + filter_len;
+  const std::uint64_t data_at = offsets_at + std::uint64_t{count} * 4;
+
+  std::string local;
+  std::string& k = rc.keybuf != nullptr ? *rc.keybuf : local;
+  std::uint32_t lo = 0, hi = count;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const std::uint32_t rel =
+        rc.res != nullptr
+            ? rc.res->offsets[mid]
+            : rc.reader->fetch_pod<std::uint32_t>(ctx, ns,
+                                                  offsets_at + mid * 4);
+    if (rc.reader != nullptr) {
+      // One line-aligned fetch stages the entry header and (for the
+      // expected key size) the whole probe key; klen/vraw must be copied
+      // out before the next fetch invalidates the staged pointer.
+      const std::uint8_t* e =
+          rc.reader->fetch(ctx, ns, data_at + rel, 8, 8 + key.size());
+      std::uint32_t klen, vraw;
+      std::memcpy(&klen, e, 4);
+      std::memcpy(&vraw, e + 4, 4);
+      const std::uint8_t* kb = rc.reader->fetch(ctx, ns, data_at + rel + 8,
+                                                klen);
+      const std::size_t n = std::min<std::size_t>(klen, key.size());
+      int c = n == 0 ? 0 : std::memcmp(kb, key.data(), n);
+      if (c == 0 && klen != key.size()) c = klen < key.size() ? -1 : 1;
+      if (c < 0) {
+        lo = mid + 1;
+      } else if (c > 0) {
+        hi = mid;
+      } else {
+        if (vraw & kTombstoneBit) return FindResult::kTombstone;
+        const std::uint32_t vlen = vraw & ~kTombstoneBit;
+        if (value != nullptr) {
+          value->resize(vlen);
+          rc.reader->read(ctx, ns, data_at + rel + 8 + klen,
+                          std::span<std::uint8_t>(
+                              reinterpret_cast<std::uint8_t*>(value->data()),
+                              vlen));
+        }
+        return FindResult::kFound;
+      }
+    } else {
+      // Residency only: the probe itself uses the seed load sequence,
+      // minus the offset-array load.
+      const auto klen = ns.load_pod<std::uint32_t>(ctx, data_at + rel);
+      k.resize(klen);
+      ns.load(ctx, data_at + rel + 8,
+              std::span<std::uint8_t>(
+                  reinterpret_cast<std::uint8_t*>(k.data()), klen));
+      if (k < key) {
+        lo = mid + 1;
+      } else if (k > key) {
+        hi = mid;
+      } else {
+        const auto vraw = ns.load_pod<std::uint32_t>(ctx, data_at + rel + 4);
+        if (vraw & kTombstoneBit) return FindResult::kTombstone;
+        const std::uint32_t vlen = vraw & ~kTombstoneBit;
+        if (value != nullptr) {
+          value->resize(vlen);
+          ns.load(ctx, data_at + rel + 8 + klen,
+                  std::span<std::uint8_t>(
+                      reinterpret_cast<std::uint8_t*>(value->data()), vlen));
+        }
+        return FindResult::kFound;
+      }
     }
   }
   return FindResult::kNotFound;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "lsmkv/memtable.h"  // FindResult
+#include "pmemlib/linereader.h"
 #include "sim/status.h"
 #include "xpsim/platform.h"
 
@@ -34,6 +35,24 @@ class SsTable {
     bool tombstone = false;
   };
 
+  // DRAM residency of a table's read-path metadata (§5.1): the bloom
+  // filter and offset array, which every point lookup consults, kept in
+  // host memory so gets stop re-loading them from PM. Built for free from
+  // the staging buffer at build() time, or loaded once from PM at open.
+  struct Residency {
+    std::uint32_t count = 0;
+    std::vector<std::uint8_t> filter;
+    std::vector<std::uint32_t> offsets;
+  };
+
+  // Optional read accelerators threaded through get_ex(). All-null is
+  // exactly the plain get() path.
+  struct ReadCtx {
+    const Residency* res = nullptr;      // DRAM metadata (null = load PM)
+    pmem::LineReader* reader = nullptr;  // XPLine combining (null = plain)
+    std::string* keybuf = nullptr;       // reused probe-key buffer
+  };
+
   // Serialized size of `entries` (for allocation).
   static std::uint64_t encoded_size(const std::vector<Entry>& entries);
 
@@ -41,14 +60,32 @@ class SsTable {
   // `scratch` (optional) is the staging buffer to reuse across builds —
   // every byte of it is rewritten, so callers can hand in the same
   // vector repeatedly and skip the per-build heap allocation.
+  // `residency` (optional) is filled from the staged bytes — no extra PM
+  // traffic.
   static std::uint64_t build(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
                              std::uint64_t off,
                              const std::vector<Entry>& entries,
-                             std::vector<std::uint8_t>* scratch = nullptr);
+                             std::vector<std::uint8_t>* scratch = nullptr,
+                             Residency* residency = nullptr);
 
+  // One-time timed load of a table's residency metadata (open/recovery
+  // path): three bulk loads instead of the per-get dribble.
+  static Residency load_residency(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                                  std::uint64_t off);
+
+  // `keybuf` (optional) is reused for the probe key on every binary-search
+  // step, replacing a fresh heap-allocated std::string per probe. Host-side
+  // only: the timed load sequence is unchanged.
   static FindResult get(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
                         std::uint64_t off, std::string_view key,
-                        std::string* value);
+                        std::string* value, std::string* keybuf = nullptr);
+
+  // get() with the read-path accelerators (DbOptions::sst_residency /
+  // read_combine). Returns exactly what get() returns for any table and
+  // key; only the PM access pattern differs.
+  static FindResult get_ex(sim::ThreadCtx& ctx, hw::PmemNamespace& ns,
+                           std::uint64_t off, std::string_view key,
+                           std::string* value, const ReadCtx& rc);
 
   // Re-reads the whole table and verifies its content CRC (stored in the
   // header at build time). Distinguishes unreadable media (kMediaError)

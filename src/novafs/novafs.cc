@@ -38,6 +38,7 @@ void NovaFs::format(ThreadCtx& ctx) {
   ns_.poke(kSuperBackupOff, bytes_of(&s, sizeof(s)));
   ns_.ntstore_persist(ctx, 0, bytes_of(&s, sizeof(s)));
   recovery_ = RecoveryInfo{};
+  init_read_path();
 
   // DRAM state.
   inodes_.assign(kMaxInodes, DInode{});
@@ -55,8 +56,20 @@ void NovaFs::format(ThreadCtx& ctx) {
   inodes_[0].in_use = true;
 }
 
+void NovaFs::init_read_path() {
+  lreader_ = pmem::LineReader{};
+  rcache_.reset();
+  if (opt_.read_combine && opt_.read_cache_lines > 0) {
+    pmem::ReadCacheOptions co;
+    co.capacity_lines = opt_.read_cache_lines;
+    rcache_ = std::make_unique<pmem::ReadCache>(ns_, co);
+    lreader_.attach_cache(rcache_.get());
+  }
+}
+
 bool NovaFs::mount(ThreadCtx& ctx) {
   recovery_ = RecoveryInfo{};
+  init_read_path();
   Super s{};
   bool primary_ok = false;
   try {
@@ -119,9 +132,13 @@ bool NovaFs::mount(ThreadCtx& ctx) {
       for (const Embed& e : ps.overlays) mark(e.data_off / kPage * kPage);
     }
     try {
+      // Log-page headers were just staged/cached by the replay above, so
+      // the combined walk re-serves them from DRAM.
       for (std::uint64_t lp = di.log_head; lp != 0;) {
         mark(lp);
-        lp = ns_.load_pod<std::uint64_t>(ctx, lp);
+        lp = opt_.read_combine
+                 ? lreader_.fetch_pod<std::uint64_t>(ctx, ns_, lp)
+                 : ns_.load_pod<std::uint64_t>(ctx, lp);
       }
     } catch (const hw::MediaError&) {
       // A link beyond the replayed (truncated) portion is unreadable; the
@@ -242,6 +259,7 @@ void NovaFs::ensure_log_space(ThreadCtx& ctx, unsigned ino,
 std::uint64_t NovaFs::log_append(ThreadCtx& ctx, unsigned ino,
                                  const LogEntry& e,
                                  std::span<const std::uint8_t> payload) {
+  lreader_.discard();  // about to mutate the log: drop the staged span
   DInode& di = inodes_[ino];
   const std::uint32_t total = e.total_len;
   assert(total == entry_len(payload.size()));
@@ -281,6 +299,7 @@ std::uint64_t NovaFs::log_append(ThreadCtx& ctx, unsigned ino,
 
 std::vector<std::uint64_t> NovaFs::log_append_batch(
     ThreadCtx& ctx, unsigned ino, std::span<const PendingEntry> entries) {
+  lreader_.discard();  // about to mutate the log: drop the staged span
   assert(!entries.empty());
   DInode& di = inodes_[ino];
   std::vector<std::uint64_t> offs;
@@ -350,14 +369,31 @@ void NovaFs::replay_inode(ThreadCtx& ctx, unsigned ino) {
   if (di.log_head == 0) return;
   di.log_page_count = 1;
   std::uint64_t pos = di.log_head + kLogDataStart;
+  // With read_combine the first fetch in each 4 KB log page stages the
+  // whole page as one line burst (window = bytes to the page end); the
+  // entry walk and payload reads below are then pure DRAM. Note the page
+  // header (next pointer) rides along for free: kLogDataStart sits inside
+  // the page's first XPLine. Under media damage the combined fetch faults
+  // at the first entry whose page holds the poisoned line, so the log is
+  // truncated at the page rather than the exact entry — a knob-on-only
+  // difference, and still reported, never hidden.
+  const bool combine = opt_.read_combine;
+  const auto to_page_end = [](std::uint64_t p) {
+    return static_cast<std::size_t>(kPage - p % kPage);
+  };
   try {
     while (true) {
-      const auto e = ns_.load_pod<LogEntry>(ctx, pos);
+      const auto e =
+          combine ? lreader_.fetch_pod<LogEntry>(ctx, ns_, pos,
+                                                 to_page_end(pos))
+                  : ns_.load_pod<LogEntry>(ctx, pos);
       if ((e.magic_type & 0xFFFF0000u) != kEntryMagic) break;  // end of log
       const std::uint32_t type = e.magic_type & 0xFFFFu;
       if (type == kEndOfPage) {
         const std::uint64_t page = pos / kPage * kPage;
-        const auto next = ns_.load_pod<std::uint64_t>(ctx, page);
+        const auto next =
+            combine ? lreader_.fetch_pod<std::uint64_t>(ctx, ns_, page)
+                    : ns_.load_pod<std::uint64_t>(ctx, page);
         // A crash between the end-of-page marker persist and the old
         // page's next-pointer persist durably leaves next == 0: the entry
         // that needed the new page was never acknowledged, so this is
@@ -394,6 +430,7 @@ bool NovaFs::entry_crc_ok(ThreadCtx& ctx, std::uint64_t pos,
 }
 
 void NovaFs::scrub_line(ThreadCtx& ctx, std::uint64_t line_off) {
+  lreader_.discard();  // the scrubbed line may sit in the staged span
   line_off &= ~(hw::Platform::kXpLineBytes - 1);
   const std::uint8_t zeros[hw::Platform::kXpLineBytes] = {};
   ns_.ntstore_persist(ctx, line_off, zeros);
@@ -402,6 +439,7 @@ void NovaFs::scrub_line(ThreadCtx& ctx, std::uint64_t line_off) {
 
 void NovaFs::truncate_log_at(ThreadCtx& ctx, unsigned ino,
                              std::uint64_t pos, const std::string& why) {
+  lreader_.discard();  // terminator store below lands in the staged page
   // Scrub the damaged page so the terminator store below can't fault,
   // then end the log durably at the damage point. Entries past it were
   // committed once — their loss is reported, not hidden.
@@ -443,15 +481,27 @@ void NovaFs::apply_entry(ThreadCtx& ctx, unsigned ino,
     }
     case kDirent:
     case kDirentDel: {
-      // Payload: u32 target_ino, u32 namelen, chars.
+      // Payload: u32 target_ino, u32 namelen, chars. During combined
+      // replay the payload is already staged with its log page; outside
+      // replay the entry was written a moment ago, so keep the stock
+      // loads (the staging span would be stale anyway).
+      const bool combine = during_replay && opt_.read_combine;
       std::uint32_t meta[2];
-      ns_.load(ctx, entry_off + sizeof(LogEntry),
-               std::span<std::uint8_t>(
-                   reinterpret_cast<std::uint8_t*>(meta), 8));
+      std::span<std::uint8_t> meta_out(
+          reinterpret_cast<std::uint8_t*>(meta), 8);
+      if (combine) {
+        lreader_.read(ctx, ns_, entry_off + sizeof(LogEntry), meta_out);
+      } else {
+        ns_.load(ctx, entry_off + sizeof(LogEntry), meta_out);
+      }
       std::string name(meta[1], '\0');
-      ns_.load(ctx, entry_off + sizeof(LogEntry) + 8,
-               std::span<std::uint8_t>(
-                   reinterpret_cast<std::uint8_t*>(name.data()), meta[1]));
+      std::span<std::uint8_t> name_out(
+          reinterpret_cast<std::uint8_t*>(name.data()), meta[1]);
+      if (combine) {
+        lreader_.read(ctx, ns_, entry_off + sizeof(LogEntry) + 8, name_out);
+      } else {
+        ns_.load(ctx, entry_off + sizeof(LogEntry) + 8, name_out);
+      }
       if (type == kDirent) {
         namei_[name] = static_cast<int>(meta[0]);
         inodes_[meta[0]].in_use = true;
@@ -757,8 +807,14 @@ void NovaFs::read_page(ThreadCtx& ctx, DInode& di, std::uint64_t page_idx,
     return;
   }
   const PageState& ps = it->second;
+  const bool combine = opt_.read_combine;
   if (ps.page_off != 0) {
-    ns_.load(ctx, ps.page_off + begin, std::span<std::uint8_t>(out, len));
+    if (combine) {
+      lreader_.read(ctx, ns_, ps.page_off + begin,
+                    std::span<std::uint8_t>(out, len));
+    } else {
+      ns_.load(ctx, ps.page_off + begin, std::span<std::uint8_t>(out, len));
+    }
   } else {
     std::memset(out, 0, len);
   }
@@ -769,9 +825,12 @@ void NovaFs::read_page(ThreadCtx& ctx, DInode& di, std::uint64_t page_idx,
     const std::size_t r_begin = std::max(begin, e_begin);
     const std::size_t r_end = std::min(begin + len, e_end);
     if (r_begin >= r_end) continue;
-    ns_.load(ctx, e.data_off + (r_begin - e_begin),
-             std::span<std::uint8_t>(out + (r_begin - begin),
-                                     r_end - r_begin));
+    std::span<std::uint8_t> dst(out + (r_begin - begin), r_end - r_begin);
+    if (combine) {
+      lreader_.read(ctx, ns_, e.data_off + (r_begin - e_begin), dst);
+    } else {
+      ns_.load(ctx, e.data_off + (r_begin - e_begin), dst);
+    }
   }
 }
 

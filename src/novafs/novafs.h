@@ -21,12 +21,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "novafs/vfs.h"
 #include "pmemlib/linebatch.h"
+#include "pmemlib/linereader.h"
 #include "sim/status.h"
 
 namespace xp::nova {
@@ -52,6 +54,19 @@ struct NovaOptions {
   // entries or none — which is also what makes rename() atomic. Off by
   // default so the stock entry-at-a-time path and timing are unchanged.
   bool batch_log_appends = false;
+  // ---- Read path (§5.1), both off by default so the stock read behavior
+  // ---- and timing are unchanged -----------------------------------------
+  // XPLine-granular read combining: mount's log replay stages each 4 KB
+  // log page as one line-aligned burst and walks its entries out of DRAM
+  // (instead of a dependent 32 B load per entry), and read() fetches page
+  // data and overlay extents as whole-line spans through a
+  // pmem::LineReader.
+  bool read_combine = false;
+  // DRAM read-cache capacity in 256 B lines (0 = no cache; 4096 = 1 MiB).
+  // Backs the LineReader — effective only with read_combine — so hot
+  // log-page headers and data lines are re-served from DRAM with no DIMM
+  // traffic. Volatile: empties on remount like any DRAM cache.
+  std::size_t read_cache_lines = 0;
   FsCosts costs{};
 };
 
@@ -262,6 +277,10 @@ class NovaFs final : public FileSystem {
   // file-log equivalent is clean_log().
   void rebuild_dir_log(ThreadCtx& ctx);
   std::string fsck_impl(ThreadCtx& ctx);
+  // Construct the per-format/mount read-path state (fresh LineReader and,
+  // if configured, the DRAM line cache). No-op beyond the reset with the
+  // read knobs off.
+  void init_read_path();
 
   PmemNamespace& ns_;
   NovaOptions opt_;
@@ -276,6 +295,9 @@ class NovaFs final : public FileSystem {
   // happen once, after the whole replacement chain is persisted.
   bool suppress_head_persist_ = false;
   pmem::LineBatcher batch_;  // reused staging for log_append_batch
+  // ---- read-path state (NovaOptions::read_combine), idle when off --------
+  std::unique_ptr<pmem::ReadCache> rcache_;
+  pmem::LineReader lreader_;
 };
 
 }  // namespace xp::nova

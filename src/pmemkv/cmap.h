@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "pmemlib/linereader.h"
 #include "pmemlib/pool.h"
 #include "sim/simtime.h"
 #include "sim/status.h"
@@ -40,6 +42,17 @@ struct CMapOptions {
   // earliest-free lane when all are busy. 0 = unthrottled (stock
   // behavior, the fig19 configuration).
   unsigned max_writers_per_dimm = 0;
+
+  // ---- Read path (§5.1), both off by default so the stock read behavior
+  // ---- and timing are unchanged -----------------------------------------
+  // XPLine-granular read combining: the bucket-chain walk fetches each
+  // node's header + key as one line-aligned burst through a
+  // pmem::LineReader instead of two dependent sub-64 B loads.
+  bool read_combine = false;
+  // DRAM read-cache capacity in 256 B lines (0 = no cache; 4096 = 1 MiB).
+  // Backs the LineReader — effective only with read_combine — so hot
+  // bucket-table lines and chain nodes are re-served from DRAM.
+  std::size_t read_cache_lines = 0;
 };
 
 class CMap {
@@ -117,6 +130,10 @@ class CMap {
   };
   Located locate(sim::ThreadCtx& ctx, std::string_view key);
   std::string check_impl(sim::ThreadCtx& ctx);
+  // Construct the per-create/open read-path state (fresh LineReader and,
+  // if configured, the DRAM line cache). No-op beyond the reset with the
+  // read knobs off.
+  void init_read_path();
 
   // Per-DIMM write admission (§5.3): take the earliest-free writer lane
   // for the target DIMM (waiting for it when all lanes are busy) and
@@ -137,6 +154,9 @@ class CMap {
   std::vector<Lanes> lanes_;
   unsigned admitted_lane_ = 0;
   RecoveryInfo recovery_;
+  // ---- read-path state (CMapOptions::read_combine), idle when off --------
+  std::unique_ptr<pmem::ReadCache> rcache_;
+  pmem::LineReader reader_;
 };
 
 }  // namespace xp::pmemkv

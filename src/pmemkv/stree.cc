@@ -26,15 +26,31 @@ T peek_pod(const hw::PmemNamespace& ns, std::uint64_t off) {
 
 STree::LeafHeader STree::read_header(sim::ThreadCtx& ctx,
                                      std::uint64_t leaf) {
+  // With read_combine the header fetch stages the whole leaf (header +
+  // all slots) as one line burst, so the slot scans that follow are pure
+  // DRAM slicing — the §5.1 "access whole XPLines" guideline.
+  if (opts_.read_combine)
+    return reader_.fetch_pod<LeafHeader>(ctx, pool_.ns(), leaf, kLeafSize);
   return pool_.ns().load_pod<LeafHeader>(ctx, leaf);
 }
 
 STree::Slot STree::read_slot(sim::ThreadCtx& ctx, std::uint64_t leaf,
                              unsigned i) {
+  if (opts_.read_combine)
+    return reader_.fetch_pod<Slot>(ctx, pool_.ns(), slot_off(leaf, i));
   return pool_.ns().load_pod<Slot>(ctx, slot_off(leaf, i));
 }
 
 std::string STree::read_value(sim::ThreadCtx& ctx, std::uint64_t val_off) {
+  if (opts_.read_combine) {
+    const auto len = reader_.fetch_pod<std::uint32_t>(ctx, pool_.ns(),
+                                                      val_off);
+    std::string v(len, '\0');
+    reader_.read(ctx, pool_.ns(), val_off + 4,
+                 std::span<std::uint8_t>(
+                     reinterpret_cast<std::uint8_t*>(v.data()), len));
+    return v;
+  }
   const auto len = pool_.ns().load_pod<std::uint32_t>(ctx, val_off);
   std::string v(len, '\0');
   pool_.ns().load(ctx, val_off + 4,
@@ -63,10 +79,23 @@ void STree::create(sim::ThreadCtx& ctx) {
   pmem::store_persist_pod(ctx, pool_.ns(), pool_.root(ctx), first_leaf_);
   index_.clear();
   index_[""] = first_leaf_;
+  init_read_path();
+}
+
+void STree::init_read_path() {
+  reader_ = pmem::LineReader{};
+  rcache_.reset();
+  if (opts_.read_combine && opts_.read_cache_lines > 0) {
+    pmem::ReadCacheOptions co;
+    co.capacity_lines = opts_.read_cache_lines;
+    rcache_ = std::make_unique<pmem::ReadCache>(pool_.ns(), co);
+    reader_.attach_cache(rcache_.get());
+  }
 }
 
 void STree::open(sim::ThreadCtx& ctx) {
   first_leaf_ = pool_.ns().load_pod<std::uint64_t>(ctx, pool_.root(ctx));
+  init_read_path();
   index_.clear();
   index_[""] = first_leaf_;
   for (std::uint64_t leaf = first_leaf_; leaf != 0;) {
@@ -128,6 +157,7 @@ bool STree::put(sim::ThreadCtx& ctx, std::string_view key,
         ctx, pool_.ns(),
         slot_off(leaf, static_cast<unsigned>(idx)) + offsetof(Slot, val_off),
         blob);
+    reader_.discard();  // the staged leaf now holds a stale val_off
     return true;
   }
 
@@ -150,6 +180,7 @@ bool STree::put(sim::ThreadCtx& ctx, std::string_view key,
   pmem::store_persist_pod(ctx, pool_.ns(),
                           leaf + offsetof(LeafHeader, bitmap), new_bitmap);
 
+  reader_.discard();  // the staged leaf now holds the stale slot/bitmap
   return true;
 }
 
@@ -191,6 +222,9 @@ std::uint64_t STree::split_leaf(sim::ThreadCtx& ctx, std::uint64_t leaf,
   LeafHeader lh{right, left_bitmap, 0};
   tx.store(leaf, bytes_of(&lh, sizeof(lh)));
   tx.commit();
+  // The caller re-reads the left leaf's header right after the split, so
+  // the staged (pre-split) copy must go now, not at end of put().
+  reader_.discard();
 
   index_[median] = right;
   return key >= median ? right : leaf;
@@ -216,6 +250,7 @@ bool STree::remove(sim::ThreadCtx& ctx, std::string_view key) {
   const std::uint32_t new_bitmap = h.bitmap & ~(1u << idx);
   pmem::store_persist_pod(ctx, pool_.ns(),
                           leaf + offsetof(LeafHeader, bitmap), new_bitmap);
+  reader_.discard();  // the staged leaf now holds the stale bitmap
   return true;
 }
 

@@ -21,21 +21,38 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "pmemlib/linereader.h"
 #include "pmemlib/pool.h"
 #include "sim/status.h"
 
 namespace xp::pmemkv {
+
+struct STreeOptions {
+  // ---- Read path (§5.1), both off by default so the stock read behavior
+  // ---- and timing are unchanged -----------------------------------------
+  // XPLine-granular read combining: the first touch of a leaf stages the
+  // whole node as one line-aligned burst through a pmem::LineReader, so
+  // the slot scan and value reads slice DRAM instead of issuing a 40 B
+  // load per slot.
+  bool read_combine = false;
+  // DRAM read-cache capacity in 256 B lines (0 = no cache; 4096 = 1 MiB).
+  // Backs the LineReader — effective only with read_combine — so hot
+  // leaves are re-served from DRAM with no DIMM traffic.
+  std::size_t read_cache_lines = 0;
+};
 
 class STree {
  public:
   static constexpr std::size_t kMaxKey = 31;
   static constexpr unsigned kLeafSlots = 32;
 
-  explicit STree(pmem::Pool& pool) : pool_(pool) {}
+  explicit STree(pmem::Pool& pool, STreeOptions opts = {})
+      : pool_(pool), opts_(opts) {}
 
   // Root slot layout: {u64 first_leaf}.
   void create(sim::ThreadCtx& ctx);
@@ -114,12 +131,20 @@ class STree {
 
   void index_leaf(sim::ThreadCtx& ctx, std::uint64_t leaf);
   std::string check_impl(sim::ThreadCtx& ctx);
+  // Construct the per-create/open read-path state (fresh LineReader and,
+  // if configured, the DRAM line cache). No-op beyond the reset with the
+  // read knobs off.
+  void init_read_path();
 
   pmem::Pool& pool_;
+  STreeOptions opts_;
   std::uint64_t first_leaf_ = 0;
   // DRAM inner index: smallest key in leaf -> leaf offset.
   std::map<std::string, std::uint64_t> index_;
   RecoveryInfo recovery_;
+  // ---- read-path state (STreeOptions::read_combine), idle when off -------
+  std::unique_ptr<pmem::ReadCache> rcache_;
+  pmem::LineReader reader_;
 };
 
 }  // namespace xp::pmemkv

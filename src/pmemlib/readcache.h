@@ -1,0 +1,239 @@
+// A small sharded DRAM cache of 256 B XPLines (paper §5.1, read side).
+//
+// The XP media transfers whole 256 B XPLines no matter how few bytes the
+// CPU asked for, so a pointer-chasing read path pays a full media line
+// per 8-byte hop. Keeping recently fetched XPLines in DRAM turns repeat
+// reads of hot metadata (bloom filters, bucket chains, index leaves) into
+// DRAM-latency hits with zero DIMM traffic. The cache registers itself as
+// the namespace's StoreObserver, so every write through any path (store,
+// ntstore, poke, media-fault clobber) drops the covered lines — a cached
+// line is therefore always bytewise identical to what a timed load would
+// return.
+//
+// Eviction is per-shard clock (second chance): a lookup sets the entry's
+// referenced bit; the rotating hand clears it once before reclaiming the
+// slot. Sharding by line index keeps the hand's sweep short and mirrors
+// how a per-core software cache would partition.
+//
+// Timing model: a hit is one DRAM-latency access (`hit_cost`) issued
+// through the calling thread's MLP window — it pipelines like any other
+// memory access but touches no simulated device, since the payload lives
+// in host DRAM, not behind the DDR-T interface. Misses charge nothing —
+// the PM fetch that follows pays the real cost. The cache is volatile
+// state: recovery paths construct a fresh one, exactly as a DRAM cache
+// empties on restart.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/simtime.h"
+#include "xpsim/platform.h"
+
+namespace xp::pmem {
+
+struct ReadCacheOptions {
+  // Total capacity in 256 B lines across all shards (4096 = 1 MiB).
+  std::size_t capacity_lines = 4096;
+  // Shard count, rounded up to a power of two; each shard gets an equal
+  // slice of the capacity and its own clock hand.
+  std::size_t shards = 8;
+  // Simulated cost of serving one lookup hit from DRAM.
+  sim::Time hit_cost = sim::ns(60);
+  // The cache's payload is ordinary cacheable host memory, so recently
+  // served lines are still CPU-cache resident: a re-hit within the last
+  // `hot_lines_per_shard` distinct lines of a shard costs `hot_hit_cost`
+  // (an LLC-latency access) instead of the full DRAM round trip.
+  std::size_t hot_lines_per_shard = 64;
+  sim::Time hot_hit_cost = sim::ns(5);
+};
+
+class ReadCache final : public hw::StoreObserver {
+ public:
+  static constexpr std::uint64_t kLine = hw::Platform::kXpLineBytes;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;      // clock reclaimed a valid slot
+    std::uint64_t invalidations = 0;  // a write dropped a cached line
+  };
+
+  ReadCache(hw::PmemNamespace& ns, ReadCacheOptions opts = {})
+      : ns_(ns), opts_(opts) {
+    std::size_t n = 1;
+    while (n < opts_.shards) n <<= 1;
+    if (opts_.capacity_lines < n) n = 1;
+    shards_.resize(n);
+    const std::size_t per = opts_.capacity_lines / n;
+    for (auto& s : shards_) {
+      s.entries.resize(per == 0 ? 1 : per);
+      s.data.resize(s.entries.size() * kLine);
+    }
+    ns_.set_store_observer(this);
+  }
+
+  ~ReadCache() override {
+    if (ns_.store_observer() == this) ns_.set_store_observer(nullptr);
+  }
+
+  ReadCache(const ReadCache&) = delete;
+  ReadCache& operator=(const ReadCache&) = delete;
+
+  // Copy the cached line at 256 B-aligned `line_off` into `out` (256
+  // bytes) and charge one DRAM access; false on miss (charges nothing).
+  bool lookup(sim::ThreadCtx& ctx, std::uint64_t line_off,
+              std::uint8_t* out) {
+    Shard& s = shard_of(line_off);
+    auto it = s.index.find(line_off);
+    if (it == s.index.end()) {
+      ++stats_.misses;
+      return false;
+    }
+    Entry& e = s.entries[it->second];
+    e.referenced = true;
+    std::memcpy(out, s.data.data() + it->second * kLine, kLine);
+    ++stats_.hits;
+    // A hit is a host-memory access: CPU-cache latency if the line is in
+    // the shard's recent set, DRAM latency otherwise — and it pipelines
+    // through the core's MLP window like any other memory access (a
+    // serial stall here would make cached reads slower than mlp-deep
+    // pipelined device reads, inverting the real ordering).
+    const sim::Time cost =
+        touch_recent(s, line_off) ? opts_.hot_hit_cost : opts_.hit_cost;
+    const sim::Time t0 =
+        ctx.begin_access(ns_.platform().timing().issue_gap);
+    ctx.complete_access(t0 + cost);
+    if (hw::TelemetrySink* sink = ns_.platform().telemetry())
+      sink->read_path(hw::ReadPathEventKind::kCacheHitLine, ctx.now(), kLine);
+    return true;
+  }
+
+  // Install the content of the line at `line_off` (just fetched from PM).
+  void insert(sim::ThreadCtx& ctx, std::uint64_t line_off,
+              const std::uint8_t* data) {
+    Shard& s = shard_of(line_off);
+    auto it = s.index.find(line_off);
+    std::size_t slot;
+    if (it != s.index.end()) {
+      slot = it->second;  // refresh in place
+    } else {
+      slot = reclaim(s);
+      Entry& victim = s.entries[slot];
+      if (victim.valid) {
+        s.index.erase(victim.line_off);
+        ++stats_.evictions;
+      }
+      victim.valid = true;
+      victim.line_off = line_off;
+      s.index.emplace(line_off, slot);
+    }
+    Entry& e = s.entries[slot];
+    e.referenced = true;
+    std::memcpy(s.data.data() + slot * kLine, data, kLine);
+    ++stats_.insertions;
+    if (hw::TelemetrySink* sink = ns_.platform().telemetry())
+      sink->read_path(hw::ReadPathEventKind::kCacheFillLine, ctx.now(), kLine);
+  }
+
+  // StoreObserver: drop every cached line overlapping [off, off+len).
+  void on_store(std::uint64_t off, std::size_t len) override {
+    if (len == 0) return;
+    const std::uint64_t first = off / kLine * kLine;
+    const std::uint64_t last = (off + len - 1) / kLine * kLine;
+    for (std::uint64_t line = first;; line += kLine) {
+      Shard& s = shard_of(line);
+      auto it = s.index.find(line);
+      if (it != s.index.end()) {
+        s.entries[it->second].valid = false;
+        s.entries[it->second].referenced = false;
+        s.index.erase(it);
+        forget_recent(s, line);
+        ++stats_.invalidations;
+        if (hw::TelemetrySink* sink = ns_.platform().telemetry())
+          sink->read_path(hw::ReadPathEventKind::kCacheInvalidate, 0, kLine);
+      }
+      if (line == last) break;
+    }
+  }
+
+  void clear() {
+    for (auto& s : shards_) {
+      for (auto& e : s.entries) e = Entry{};
+      s.index.clear();
+      s.hand = 0;
+      s.recent.clear();
+      s.recent_pos = 0;
+    }
+  }
+
+  const Stats& stats() const { return stats_; }
+  hw::PmemNamespace& ns() { return ns_; }
+
+ private:
+  struct Entry {
+    std::uint64_t line_off = 0;
+    bool valid = false;
+    bool referenced = false;
+  };
+  static constexpr std::uint64_t kNoLine = ~std::uint64_t{0};
+
+  struct Shard {
+    std::vector<Entry> entries;
+    std::vector<std::uint8_t> data;  // entries.size() * kLine payload bytes
+    std::unordered_map<std::uint64_t, std::size_t> index;  // line -> slot
+    std::size_t hand = 0;
+    // Ring of the last `hot_lines_per_shard` distinct lines served — the
+    // approximation of which payload lines are still CPU-cache resident.
+    std::vector<std::uint64_t> recent;
+    std::size_t recent_pos = 0;
+  };
+
+  // True if `line_off` is in the shard's recent set; records it otherwise.
+  bool touch_recent(Shard& s, std::uint64_t line_off) {
+    if (opts_.hot_lines_per_shard == 0) return false;
+    if (s.recent.empty())
+      s.recent.assign(opts_.hot_lines_per_shard, kNoLine);
+    for (std::uint64_t l : s.recent)
+      if (l == line_off) return true;
+    s.recent[s.recent_pos] = line_off;
+    s.recent_pos = (s.recent_pos + 1) % s.recent.size();
+    return false;
+  }
+
+  void forget_recent(Shard& s, std::uint64_t line_off) {
+    for (auto& l : s.recent)
+      if (l == line_off) l = kNoLine;
+  }
+
+  Shard& shard_of(std::uint64_t line_off) {
+    return shards_[(line_off / kLine) & (shards_.size() - 1)];
+  }
+
+  // Clock sweep: prefer an invalid slot, give referenced entries one
+  // second chance, otherwise reclaim.
+  std::size_t reclaim(Shard& s) {
+    for (;;) {
+      Entry& e = s.entries[s.hand];
+      const std::size_t slot = s.hand;
+      s.hand = (s.hand + 1) % s.entries.size();
+      if (!e.valid) return slot;
+      if (e.referenced) {
+        e.referenced = false;
+        continue;
+      }
+      return slot;
+    }
+  }
+
+  hw::PmemNamespace& ns_;
+  ReadCacheOptions opts_;
+  std::vector<Shard> shards_;
+  Stats stats_;
+};
+
+}  // namespace xp::pmem

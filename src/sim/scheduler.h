@@ -42,6 +42,11 @@ class ThreadCtx {
   unsigned id() const { return id_; }
   unsigned socket() const { return socket_; }
   unsigned mlp() const { return mlp_; }
+  // Temporarily rewidth the MLP window (a sequential combined burst runs
+  // at streaming parallelism even in a latency-bound thread; callers
+  // restore the previous width afterwards). A shrink leaves outstanding
+  // completions in flight; begin_access retires them one per issue.
+  void set_mlp(unsigned m) { mlp_ = m ? m : 1; }
   Rng& rng() { return rng_; }
 
   // Write-stream identity presented to the memory device. Defaults to the

@@ -33,6 +33,17 @@ const char* evict_kind_name(hw::EvictKind k) {
   return "evict_unknown";
 }
 
+const char* read_path_kind_name(hw::ReadPathEventKind k) {
+  switch (k) {
+    case hw::ReadPathEventKind::kCombinedFetch: return "combined_fetches";
+    case hw::ReadPathEventKind::kStagedServe: return "staged_serves";
+    case hw::ReadPathEventKind::kCacheHitLine: return "cache_hit_lines";
+    case hw::ReadPathEventKind::kCacheFillLine: return "cache_fill_lines";
+    case hw::ReadPathEventKind::kCacheInvalidate: return "cache_invalidations";
+  }
+  return "read_path_unknown";
+}
+
 const char* media_fault_kind_name(hw::MediaFaultKind k) {
   switch (k) {
     case hw::MediaFaultKind::kCorrected: return "ecc_corrected";
@@ -185,6 +196,20 @@ void Session::media_fault(hw::MediaFaultKind kind, sim::Time t,
   }
 }
 
+void Session::read_path(hw::ReadPathEventKind kind, sim::Time t,
+                        std::uint64_t bytes) {
+  ++read_path_counts_[static_cast<unsigned>(kind)];
+  read_path_bytes_[static_cast<unsigned>(kind)] += bytes;
+  last_event_time_ = std::max(last_event_time_, t);
+  if (trace_) {
+    std::string args = "{\"bytes\":";
+    append_u64(args, bytes);
+    args += '}';
+    trace_->instant(read_path_kind_name(kind), "read_path", t, 0, 0,
+                    std::move(args));
+  }
+}
+
 void Session::run_complete(const char* name, sim::Time start, sim::Time end) {
   last_event_time_ = std::max(last_event_time_, end);
   sampler_.sample(end);  // close the final interval at the run boundary
@@ -267,6 +292,8 @@ std::string Session::summary_json() const {
   }
   out += "},\"ewr\":";
   append_double(out, total.ewr());
+  out += ",\"err\":";
+  append_double(out, total.err());
 
   out += ",\"persist_events\":{";
   {
@@ -323,6 +350,32 @@ std::string Session::summary_json() const {
     }
   }
 
+  // Software read-path section — present only when a store ran with read
+  // combining or caching enabled, so default-configuration summaries are
+  // unchanged byte for byte.
+  {
+    std::uint64_t any = 0;
+    for (const std::uint64_t c : read_path_counts_) any += c;
+    if (any != 0) {
+      out += ",\"read_path\":{";
+      bool first = true;
+      for (unsigned k = 0; k < hw::kReadPathEventKinds; ++k) {
+        append_kv(out,
+                  read_path_kind_name(static_cast<hw::ReadPathEventKind>(k)),
+                  read_path_counts_[k], &first);
+      }
+      append_kv(out, "combined_fetch_bytes",
+                read_path_bytes_[static_cast<unsigned>(
+                    hw::ReadPathEventKind::kCombinedFetch)],
+                &first);
+      append_kv(out, "staged_serve_bytes",
+                read_path_bytes_[static_cast<unsigned>(
+                    hw::ReadPathEventKind::kStagedServe)],
+                &first);
+      out += '}';
+    }
+  }
+
   out += ",\"dimm_labels\":[";
   for (unsigned d = 0; d < sampler_.dimms(); ++d) {
     if (d > 0) out += ',';
@@ -361,6 +414,22 @@ std::string Session::summary_json() const {
       } else {
         append_double(out, static_cast<double>(imc_w) /
                                static_cast<double>(media_w));
+      }
+    }
+    // Per-DIMM interval ERR = media read bytes / iMC read bytes (null
+    // where the DIMM served no interface reads this interval).
+    out += "],\"err\":[";
+    for (unsigned d = 0; d < sampler_.dimms(); ++d) {
+      if (d > 0) out += ',';
+      const std::uint64_t imc_r =
+          ss[i].dimms[d].imc_read_bytes - ss[i - 1].dimms[d].imc_read_bytes;
+      const std::uint64_t media_r = ss[i].dimms[d].media_read_bytes -
+                                    ss[i - 1].dimms[d].media_read_bytes;
+      if (imc_r == 0) {
+        out += "null";
+      } else {
+        append_double(out, static_cast<double>(media_r) /
+                               static_cast<double>(imc_r));
       }
     }
     out += "],\"write_gbps\":";

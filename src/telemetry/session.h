@@ -90,6 +90,12 @@ class Session final : public hw::TelemetrySink {
   std::uint64_t media_fault_count(hw::MediaFaultKind k) const {
     return media_fault_counts_[static_cast<unsigned>(k)];
   }
+  std::uint64_t read_path_count(hw::ReadPathEventKind k) const {
+    return read_path_counts_[static_cast<unsigned>(k)];
+  }
+  std::uint64_t read_path_bytes(hw::ReadPathEventKind k) const {
+    return read_path_bytes_[static_cast<unsigned>(k)];
+  }
   // Distinct XPLine offsets ARS reported bad (sorted, deduplicated).
   const std::vector<std::uint64_t>& ars_bad_lines() const {
     return ars_bad_lines_;
@@ -104,6 +110,8 @@ class Session final : public hw::TelemetrySink {
   void crash_fired(sim::Time t, std::uint64_t seq) override;
   void media_fault(hw::MediaFaultKind kind, sim::Time t, unsigned socket,
                    unsigned channel, std::uint64_t line_off) override;
+  void read_path(hw::ReadPathEventKind kind, sim::Time t,
+                 std::uint64_t bytes) override;
   void tick(sim::Time now) override { sampler_.tick(now); }
   void run_complete(const char* name, sim::Time start, sim::Time end) override;
 
@@ -117,6 +125,8 @@ class Session final : public hw::TelemetrySink {
   std::uint64_t ait_misses_ = 0;
   std::uint64_t crash_points_ = 0;
   std::array<std::uint64_t, hw::kMediaFaultKinds> media_fault_counts_{};
+  std::array<std::uint64_t, hw::kReadPathEventKinds> read_path_counts_{};
+  std::array<std::uint64_t, hw::kReadPathEventKinds> read_path_bytes_{};
   std::vector<std::uint64_t> ars_bad_lines_;  // sorted unique line offsets
   sim::Time last_event_time_ = 0;
   bool finished_ = false;

@@ -63,6 +63,27 @@ struct XpCounters {
            static_cast<double>(imc_write_bytes);
   }
 
+  // ERR (Effective Read Ratio) = media read bytes / iMC read bytes — the
+  // read-side analogue of write_amplification(), lower is better. 1.0
+  // means every media byte transferred was requested at the interface;
+  // isolated 64 B reads each dragging a full 256 B XPLine off the media
+  // approach 4.0 (paper §5.1's "avoid small random reads"); values below
+  // 1.0 mean the XPBuffer served repeat interface reads without media
+  // traffic.
+  //
+  // Edge cases mirror ewr(): no read traffic at all is 1.0 (nothing was
+  // amplified); media reads with zero iMC reads (possible on write-only
+  // workloads — partial-line evictions RMW the media without any
+  // interface read) is +infinity.
+  double err() const {
+    if (imc_read_bytes == 0) {
+      return media_read_bytes == 0 ? 1.0
+                                   : std::numeric_limits<double>::infinity();
+    }
+    return static_cast<double>(media_read_bytes) /
+           static_cast<double>(imc_read_bytes);
+  }
+
   XpCounters& operator+=(const XpCounters& o) {
     imc_read_bytes += o.imc_read_bytes;
     imc_write_bytes += o.imc_write_bytes;

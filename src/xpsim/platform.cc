@@ -59,12 +59,14 @@ void PmemNamespace::load(ThreadCtx& ctx, std::uint64_t off,
 void PmemNamespace::store(ThreadCtx& ctx, std::uint64_t off,
                           std::span<const std::uint8_t> data) {
   assert(off + data.size() <= opts_.size);
+  if (!platform_.frozen()) notify_store(off, data.size());
   platform_.do_store(ctx, *this, off, data);
 }
 
 void PmemNamespace::ntstore(ThreadCtx& ctx, std::uint64_t off,
                             std::span<const std::uint8_t> data) {
   assert(off + data.size() <= opts_.size);
+  if (!platform_.frozen()) notify_store(off, data.size());
   platform_.do_ntstore(ctx, *this, off, data);
 }
 
@@ -123,6 +125,7 @@ void PmemNamespace::peek(std::uint64_t off,
 
 void PmemNamespace::poke(std::uint64_t off,
                          std::span<const std::uint8_t> in) {
+  notify_store(off, in.size());
   image_.write(off, in);
 }
 
@@ -328,6 +331,7 @@ void Platform::do_poison(PmemNamespace& ns, std::uint64_t xpline) {
     std::memcpy(junk.data() + w, &z, 8);
   }
   ns.image_write(xpline, junk);
+  ns.notify_store(xpline, kXpLineBytes);
   // Discard cached copies of the line's four 64 B sub-lines so later
   // reads must refetch from media and take the fault (dirty copies are
   // lost — the media under them failed).

@@ -97,6 +97,21 @@ struct MediaError : std::runtime_error {
   unsigned channel;
 };
 
+// Observer of writes into a namespace, notified of every byte range that
+// changes the namespace's contents through any path — timed stores,
+// non-temporal stores, untimed pokes, and media-fault clobbers. The
+// software read-cache layer (pmem::ReadCache) uses this to drop stale
+// DRAM copies. A namespace holds at most one observer; every notify site
+// is a single null-pointer branch, so a namespace with no observer pays
+// one predictable branch per write and nothing else. Observers must be
+// timing-neutral: they may bookkeep but never touch simulated clocks or
+// device state.
+class StoreObserver {
+ public:
+  virtual ~StoreObserver() = default;
+  virtual void on_store(std::uint64_t off, std::size_t len) = 0;
+};
+
 // A byte-addressable persistent (or pseudo-persistent) region, the unit of
 // App-Direct provisioning (an fsdax namespace in Linux terms).
 class PmemNamespace {
@@ -165,8 +180,17 @@ class PmemNamespace {
   // Maps a namespace offset to (channel, DIMM-local address).
   DimmAddr decode(std::uint64_t off) const;
 
+  // Attach a write observer (see StoreObserver above). At most one; the
+  // previous one is detached. Null detaches.
+  void set_store_observer(StoreObserver* o) { observer_ = o; }
+  StoreObserver* store_observer() const { return observer_; }
+
  private:
   friend class Platform;
+
+  void notify_store(std::uint64_t off, std::size_t len) {
+    if (observer_) observer_->on_store(off, len);
+  }
 
   void image_write(std::uint64_t off, std::span<const std::uint8_t> in) {
     if (!opts_.discard_data) image_.write(off, in);
@@ -183,6 +207,7 @@ class PmemNamespace {
   // FaultInjector has planted faults.
   std::set<std::uint64_t> poison_;         // uncorrectable lines
   std::set<std::uint64_t> ecc_transient_;  // one-shot correctable events
+  StoreObserver* observer_ = nullptr;
 };
 
 class Platform {

@@ -50,6 +50,19 @@ enum class MediaFaultKind : std::uint8_t {
 };
 inline constexpr unsigned kMediaFaultKinds = 5;
 
+// Software read-path events, emitted by the shared read-combining layer
+// (src/pmemlib/linereader.h, readcache.h). Only produced when a store has
+// its read knobs enabled, so default-configuration runs emit no such
+// events.
+enum class ReadPathEventKind : std::uint8_t {
+  kCombinedFetch,    // a LineReader staged an XPLine-aligned span from PM
+  kStagedServe,      // a fetch served from the already-staged span
+  kCacheHitLine,     // a 256 B line served from the DRAM ReadCache
+  kCacheFillLine,    // a line fetched from PM and installed in the cache
+  kCacheInvalidate,  // a write dropped a cached line
+};
+inline constexpr unsigned kReadPathEventKinds = 5;
+
 class TelemetrySink {
  public:
   virtual ~TelemetrySink() = default;
@@ -77,6 +90,13 @@ class TelemetrySink {
   virtual void media_fault(MediaFaultKind /*kind*/, sim::Time /*t*/,
                            unsigned /*socket*/, unsigned /*channel*/,
                            std::uint64_t /*line_off*/) {}
+
+  // A software read-path event (LineReader/ReadCache). `bytes` is the
+  // span the event covers: PM bytes fetched for kCombinedFetch, user
+  // bytes served for kStagedServe, 256 per line for the cache events.
+  // Invalidations triggered by untimed writes carry t == 0.
+  virtual void read_path(ReadPathEventKind /*kind*/, sim::Time /*t*/,
+                         std::uint64_t /*bytes*/) {}
 
   // Called once per timed data-path operation (load/store/ntstore/flush/
   // fence) with the issuing thread's clock; drives periodic samplers.

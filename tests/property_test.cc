@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "lattester/runner.h"
+#include "pmemlib/linereader.h"
 #include "pmemlib/pool.h"
 #include "sim/scheduler.h"
 #include "telemetry/registry.h"
@@ -245,12 +246,19 @@ TEST_P(ConservationOracle, ObservedRunConservesAndMatchesUnobserved) {
   auto run_program = [&](PmemNamespace& ns) {
     ThreadCtx t({.id = 0, .socket = 0, .mlp = 8, .seed = 5});
     sim::Rng rng(GetParam());
+    // Combined reads through a DRAM line cache interleave with the raw
+    // stores/loads: the conservation laws below must keep holding with
+    // the read-path layer in play (cache hits are DRAM-only and add no
+    // DIMM traffic to account for).
+    pmem::ReadCache rcache(ns, {.capacity_lines = 128});
+    pmem::LineReader reader;
+    reader.attach_cache(&rcache);
     for (int op = 0; op < 1500; ++op) {
       const std::size_t len = 1 + rng.uniform(400);
       const std::uint64_t off = rng.uniform(kRegion - len);
       std::vector<std::uint8_t> data(len);
       for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
-      switch (rng.uniform(4)) {
+      switch (rng.uniform(5)) {
         case 0:
           ns.ntstore_persist(t, off, data);
           break;
@@ -265,6 +273,10 @@ TEST_P(ConservationOracle, ObservedRunConservesAndMatchesUnobserved) {
           ns.load(t, off, out);
           break;
         }
+        case 4:
+          reader.discard();  // stores above may have hit the staged span
+          reader.fetch(t, ns, off, len);
+          break;
       }
     }
   };
@@ -286,6 +298,24 @@ TEST_P(ConservationOracle, ObservedRunConservesAndMatchesUnobserved) {
                          c.wear_migrations));
   EXPECT_EQ(c.imc_read_bytes,
             tm.cacheline * (c.buffer_hit_reads + c.buffer_miss_reads));
+
+  // The read laws must also hold per DIMM (ERR is reported per DIMM), and
+  // the ERR accessor must agree with the raw byte ratio everywhere.
+  for (unsigned s = 0; s < snap.sockets(); ++s)
+    for (unsigned ch = 0; ch < snap.channels(); ++ch) {
+      const hw::XpCounters& d = snap.xp[s][ch].counters;
+      EXPECT_EQ(d.media_read_bytes,
+                tm.xpline * (d.buffer_miss_reads + d.evictions_partial +
+                             d.wear_migrations))
+          << "dimm (" << s << "," << ch << ")";
+      EXPECT_EQ(d.imc_read_bytes,
+                tm.cacheline * (d.buffer_hit_reads + d.buffer_miss_reads))
+          << "dimm (" << s << "," << ch << ")";
+      if (d.imc_read_bytes > 0) {
+        EXPECT_DOUBLE_EQ(d.err(), static_cast<double>(d.media_read_bytes) /
+                                      static_cast<double>(d.imc_read_bytes));
+      }
+    }
 
   std::uint64_t histo = 0;
   for (unsigned k = 0; k < hw::kPersistEventKinds; ++k)
