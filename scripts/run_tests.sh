@@ -4,7 +4,9 @@
 # (~200 points per store) plus a bounded media fault-injection campaign
 # (fixed seed, ~100 points per store) as smoke checks that every
 # persistent store's recovery invariants and poison-containment contract
-# hold. Intended for CI and for pre-commit runs.
+# hold, and a bounded schedmc schedule-exploration sweep (PCT + DFS +
+# crash composition, linearizability-checked, plus the seeded-fault
+# negative run). Intended for CI and for pre-commit runs.
 #
 # Usage: scripts/run_tests.sh [--tier1] [jobs]
 #   --tier1  run only the fast always-on gate (`ctest -L tier1`, Release
@@ -64,6 +66,13 @@ echo
 echo "== media fault-injection smoke campaign (~100 points per store) =="
 build-release/bench/crashmc_sweep --faults --points 80 --poison-points 20 \
     --seed 42 --checksums
+
+echo
+echo "== schedmc smoke sweep (bounded schedule exploration) =="
+build-release/bench/schedmc_sweep --schedules 60 --dfs 24 --crash 2
+# Negative run: the seeded lock-elision regression must be caught (the
+# binary exits non-zero if the oracle misses it).
+build-release/bench/schedmc_sweep --schedules 60 --dfs 24 --crash 0 --fault
 
 echo
 echo "All test gates passed."

@@ -198,6 +198,10 @@ void Db::write_record(sim::ThreadCtx& ctx, std::string_view key,
     // Leader/follower group commit: buffer the record (already readable
     // through the memtable) and let the write that fills the group commit
     // the whole burst. Durability is acknowledged at group boundaries.
+    // The record is readable (memtable) before it is durable (group WAL
+    // burst) — the leader/follower handoff edge the schedule explorer
+    // perturbs and the crash-mode linearizability oracle checks.
+    ctx.sched_point(sim::SchedPoint::kHandoff);
     pending_.push_back({std::string(key), std::string(value), tombstone});
     memtable_.put(ctx, key, value, tombstone);
     if (pending_.size() >= opts_.wal_group_size) commit_pending(ctx);
@@ -210,6 +214,7 @@ void Db::write_record(sim::ThreadCtx& ctx, std::string_view key,
 
 void Db::commit_pending(sim::ThreadCtx& ctx) {
   if (pending_.empty()) return;
+  ctx.sched_point(sim::SchedPoint::kHandoff);
   std::vector<WalRecord> recs;
   recs.reserve(pending_.size());
   for (const PendingRec& p : pending_)

@@ -301,6 +301,9 @@ std::vector<std::uint64_t> NovaFs::log_append_batch(
     ThreadCtx& ctx, unsigned ino, std::span<const PendingEntry> entries) {
   lreader_.discard();  // about to mutate the log: drop the staged span
   assert(!entries.empty());
+  // Batched log publication: the window where a racing thread (or crash)
+  // must see whole chunks or nothing — a schedule-explorer yield point.
+  ctx.sched_point(sim::SchedPoint::kBatchCommit);
   DInode& di = inodes_[ino];
   std::vector<std::uint64_t> offs;
   offs.reserve(entries.size());
@@ -603,6 +606,10 @@ bool NovaFs::unlink(ThreadCtx& ctx, const std::string& name) {
 
 bool NovaFs::rename(ThreadCtx& ctx, const std::string& from,
                     const std::string& to) {
+  // A rename is delete+insert in the directory log; under the schedule
+  // explorer a competing rename may be granted the log between the two
+  // unless batch_log_appends makes the pair one atomic chunk.
+  ctx.sched_point(sim::SchedPoint::kHandoff);
   ctx.advance_by(opt_.costs.open_syscall);
   auto it = namei_.find(from);
   if (it == namei_.end()) return false;

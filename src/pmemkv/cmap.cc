@@ -60,6 +60,10 @@ void CMap::init_read_path() {
 
 void CMap::admit_writer(sim::ThreadCtx& ctx, std::uint64_t off) {
   if (opts_.max_writers_per_dimm == 0) return;
+  // Writer-lane admission (§5.3 thread cap): a contended resource the
+  // schedule explorer perturbs — which thread wins a lane decides which
+  // write stream the DIMM sees next.
+  ctx.sched_point(sim::SchedPoint::kLaneAcquire);
   auto& ns = pool_.ns();
   if (lanes_.empty())
     lanes_.assign(ns.platform().timing().channels_per_socket, {});
@@ -85,6 +89,7 @@ void CMap::release_writer(sim::ThreadCtx& ctx, std::uint64_t off) {
   auto& lanes = lanes_[pool_.ns().decode(off).channel % lanes_.size()];
   lanes.free_at[admitted_lane_] = ctx.now();
   ctx.clear_write_stream();
+  ctx.sched_point(sim::SchedPoint::kLaneRelease);
 }
 
 CMap::Located CMap::locate(sim::ThreadCtx& ctx, std::string_view key) {

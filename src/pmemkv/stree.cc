@@ -186,6 +186,9 @@ bool STree::put(sim::ThreadCtx& ctx, std::string_view key,
 
 std::uint64_t STree::split_leaf(sim::ThreadCtx& ctx, std::uint64_t leaf,
                                 std::string_view key) {
+  // A structural modification: readers racing a split are the classic
+  // B-tree hazard, so announce it to the schedule explorer.
+  ctx.sched_point(sim::SchedPoint::kHandoff);
   // Collect and sort the slots to pick the median.
   const LeafHeader h = read_header(ctx, leaf);
   std::vector<std::pair<std::string, unsigned>> keys;

@@ -89,6 +89,10 @@ class LineBatcher {
   void commit(ThreadCtx& ctx, PmemNamespace& ns, std::size_t hold = 0,
               WriteHint hint = WriteHint::kAuto) {
     assert(hold <= buf_.size());
+    // Batch publication is an atomicity-critical window (payload before
+    // commit word): a preemption here is exactly where a racing reader or
+    // a crash would land, so announce it to the schedule explorer.
+    ctx.sched_point(sim::SchedPoint::kBatchCommit);
     if (buf_.size() > hold)
       write(ctx, ns, base_ + hold,
             std::span<const std::uint8_t>(buf_.data() + hold,

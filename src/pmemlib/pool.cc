@@ -318,6 +318,10 @@ std::uint64_t Pool::alloc_raw(ThreadCtx& ctx, std::uint64_t size) {
 Tx::Tx(Pool& pool, ThreadCtx& ctx)
     : pool_(pool), ctx_(ctx), lane_(ctx.id() % Pool::kLanes),
       base_(pool.lane_off(lane_)) {
+  // Lane admission: threads mapping to distinct lanes proceed
+  // independently, which is exactly the interleaving the schedule
+  // explorer wants to perturb.
+  ctx.sched_point(sim::SchedPoint::kLaneAcquire);
   hdr_ = LaneHeader{1, 0, 0};
   store_persist_pod(ctx_, pool_.ns_, base_, hdr_);
   active_ = true;
@@ -384,6 +388,7 @@ void Tx::commit() {
     store_persist_pod(ctx_, pool_.ns_, base_, hdr_);
   }
   active_ = false;
+  ctx_.sched_point(sim::SchedPoint::kLaneRelease);
 }
 
 void Tx::abort() {

@@ -1,0 +1,260 @@
+#include "schedmc/history.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace xp::schedmc {
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kPut: return "put";
+    case OpKind::kGet: return "get";
+    case OpKind::kDel: return "del";
+    case OpKind::kRmw: return "rmw";
+    case OpKind::kRename: return "rename";
+  }
+  return "?";
+}
+
+std::size_t History::invoke(unsigned thread, OpKind kind, std::string key,
+                            std::string wval, std::string key2) {
+  Op op;
+  op.thread = thread;
+  op.kind = kind;
+  op.key = std::move(key);
+  op.key2 = std::move(key2);
+  op.wval = std::move(wval);
+  op.invoke_seq = seq_++;
+  op.response_seq = kPendingSeq;
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+void History::stage_write(std::size_t id, bool found, std::string observed,
+                          std::string wval) {
+  Op& op = ops_[id];
+  op.staged = true;
+  op.found = found;
+  op.check_found = true;
+  op.rval = std::move(observed);
+  op.wval = std::move(wval);
+}
+
+void History::stage_write(std::size_t id) { ops_[id].staged = true; }
+
+void History::respond(std::size_t id) { ops_[id].response_seq = seq_++; }
+
+void History::respond(std::size_t id, bool found, std::string rval) {
+  Op& op = ops_[id];
+  op.response_seq = seq_++;
+  op.found = found;
+  op.check_found = true;
+  if (!rval.empty() || op.kind == OpKind::kGet) op.rval = std::move(rval);
+}
+
+void History::set_group(std::size_t id, std::uint64_t group) {
+  ops_[id].group = group;
+}
+
+void History::mark_must_include(std::size_t id) {
+  ops_[id].must_include = true;
+}
+
+void History::clear() {
+  seq_ = 0;
+  ops_.clear();
+}
+
+namespace {
+
+using State = std::map<std::string, std::string>;
+
+std::uint64_t hash_state(const State& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const std::string& str) {
+    for (const char c : str) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& [k, v] : s) {
+    mix(k);
+    mix(v);
+  }
+  return h;
+}
+
+// Apply op semantics to `state`. Returns false (state unchanged) when the
+// op's recorded observation contradicts the state it would linearize in.
+bool apply(const Op& op, State& state) {
+  const auto it = state.find(op.key);
+  const bool present = it != state.end();
+  switch (op.kind) {
+    case OpKind::kPut:
+      state[op.key] = op.wval;
+      return true;
+    case OpKind::kDel:
+      if (op.check_found && op.completed() && op.found != present)
+        return false;
+      if (present) state.erase(it);
+      return true;
+    case OpKind::kGet:
+      if (op.found != present) return false;
+      if (present && op.rval != it->second) return false;
+      return true;
+    case OpKind::kRmw:
+      // The observed (found, rval) pair was recorded at the stage point,
+      // so it constrains staged-but-unacked ops too.
+      if (op.check_found) {
+        if (op.found != present) return false;
+        if (present && op.rval != it->second) return false;
+      }
+      state[op.key] = op.wval;
+      return true;
+    case OpKind::kRename:
+      if (op.check_found && op.completed() && op.found != present)
+        return false;
+      if (present) {
+        std::string v = std::move(it->second);
+        state.erase(it);
+        state[op.key2] = std::move(v);
+      }
+      return true;
+  }
+  return false;
+}
+
+struct Search {
+  const std::vector<Op>& ops;
+  const State* final_state;
+  std::vector<bool> includable;
+  std::vector<bool> must;
+  std::uint64_t must_mask = 0;
+  std::map<std::uint64_t, unsigned> group_size;
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t states = 0;
+
+  bool groups_whole(std::uint64_t lin) const {
+    std::map<std::uint64_t, unsigned> in;
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      if ((lin >> i) & 1 && ops[i].group != 0) ++in[ops[i].group];
+    for (const auto& [g, n] : in)
+      if (n != group_size.at(g)) return false;
+    return true;
+  }
+
+  bool accepted(std::uint64_t lin, const State& state) const {
+    if ((lin & must_mask) != must_mask) return false;
+    if (!groups_whole(lin)) return false;
+    if (final_state != nullptr && state != *final_state) return false;
+    return true;
+  }
+
+  bool dfs(std::uint64_t lin, std::uint64_t dropped, const State& state) {
+    ++states;
+    if (accepted(lin, state)) return true;
+    const std::uint64_t key =
+        hash_state(state) ^ (lin * 0x9e3779b97f4a7c15ULL) ^
+        (dropped * 0xc2b2ae3d27d4eb4fULL);
+    if (!seen.insert(key).second) return false;
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (((lin | dropped) >> i) & 1) continue;
+      if (!includable[i]) continue;
+      // Real time: an undecided MUST op that responded before op i was
+      // invoked has to linearize first, so i is not yet eligible.
+      bool blocked = false;
+      for (std::size_t j = 0; j < ops.size() && !blocked; ++j) {
+        if (j == i || ((lin >> j) & 1)) continue;
+        if (must[j] && ops[j].response_seq < ops[i].invoke_seq)
+          blocked = true;
+      }
+      if (blocked) continue;
+
+      State next = state;
+      if (!apply(ops[i], next)) continue;
+
+      // Linearizing i commits every optional op that responded before i
+      // invoked to exclusion — it can no longer appear after i.
+      std::uint64_t ndropped = dropped;
+      for (std::size_t j = 0; j < ops.size(); ++j) {
+        if (j == i || (((lin | ndropped) >> j) & 1)) continue;
+        if (ops[j].response_seq < ops[i].invoke_seq)
+          ndropped |= std::uint64_t{1} << j;
+      }
+      if (dfs(lin | (std::uint64_t{1} << i), ndropped, next)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+CheckResult check_history(const std::vector<Op>& ops,
+                          const std::map<std::string, std::string>* final_state,
+                          bool crashed,
+                          const std::map<std::string, std::string>* initial) {
+  CheckResult res;
+  if (ops.size() > 64) {
+    res.detail = "history too long for the 64-op mask (got " +
+                 std::to_string(ops.size()) + ")";
+    return res;
+  }
+  if (crashed && final_state == nullptr) {
+    res.detail = "crash-mode check requires the recovered state";
+    return res;
+  }
+
+  Search s{ops, final_state, {}, {}, 0, {}, {}, 0};
+  s.includable.resize(ops.size());
+  s.must.resize(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (crashed) {
+      s.includable[i] = ops[i].staged || ops[i].completed();
+      s.must[i] = ops[i].must_include;
+    } else {
+      s.includable[i] = ops[i].completed();
+      s.must[i] = ops[i].completed();
+    }
+    if (s.must[i]) s.must_mask |= std::uint64_t{1} << i;
+    if (ops[i].group != 0 && s.includable[i]) ++s.group_size[ops[i].group];
+  }
+
+  const State empty;
+  const bool ok = s.dfs(0, 0, initial != nullptr ? *initial : empty);
+  res.ok = ok;
+  res.states_explored = s.states;
+  if (!ok)
+    res.detail = (crashed ? "no linearizable prefix explains the recovered "
+                            "state\n"
+                          : "history is not linearizable\n") +
+                 format_history(ops);
+  return res;
+}
+
+std::string format_history(const std::vector<Op>& ops) {
+  std::string out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    out += "  #" + std::to_string(i) + " t" + std::to_string(op.thread) +
+           ' ' + op_kind_name(op.kind) + '(' + op.key;
+    if (!op.key2.empty()) out += "->" + op.key2;
+    if (op.kind == OpKind::kPut || op.kind == OpKind::kRmw)
+      out += "=" + op.wval;
+    out += ')';
+    if (op.check_found)
+      out += op.found ? (" saw=" + op.rval) : " saw=absent";
+    out += " [" + std::to_string(op.invoke_seq) + ',';
+    out += op.completed() ? std::to_string(op.response_seq) : "pending";
+    out += ']';
+    if (op.staged) out += " staged";
+    if (op.must_include) out += " durable";
+    if (op.group != 0) out += " g" + std::to_string(op.group);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xp::schedmc

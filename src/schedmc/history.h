@@ -1,0 +1,122 @@
+// Concurrent-history recording and a linearizability oracle (schedmc).
+//
+// Workload threads running under the schedmc interleaver record every
+// store operation (invoke -> optional write-stage -> response) into a
+// History. The checker then searches for a sequential order of the
+// recorded operations that (a) respects real time — an operation that
+// responded before another was invoked must come first — and (b) is
+// legal against a sequential map: every get sees exactly the latest
+// included put, every read-modify-write observes the value it will
+// overwrite, renames move exactly one binding. This is the Wing & Gong
+// linearizability search with Lowe-style memoization on (decided-set,
+// state) pairs.
+//
+// Crash mode extends the search to durability: operations whose
+// durability was acknowledged before the crash MUST appear; operations
+// that had reached their write phase (staged) MAY appear; everything
+// else is excluded. Group-commit windows are all-or-nothing: either a
+// whole window of ops linearizes or none of it does. The linearized
+// history must additionally reproduce the post-recovery state exactly —
+// i.e. recovery yields a linearizable prefix of the concurrent history.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xp::schedmc {
+
+enum class OpKind : unsigned char { kPut, kGet, kDel, kRmw, kRename };
+
+const char* op_kind_name(OpKind k);
+
+struct Op {
+  unsigned thread = 0;
+  OpKind kind = OpKind::kPut;
+  std::string key;
+  std::string key2;  // rename destination
+  std::string wval;  // value written (put: at invoke; rmw: at stage)
+  std::string rval;  // value observed (get/rmw response)
+  // get/rmw: key existed; del/rename: the op took effect. Only checked
+  // when `check_found` (a del that does not report hit/miss leaves it
+  // false).
+  bool found = false;
+  bool check_found = false;
+  // The op reached its write phase: its effect may be durable even
+  // without a recorded response (crash mode may-include).
+  bool staged = false;
+  // Durability acknowledged (crash mode must-include). Reads are marked
+  // at response: a completed observation must be explained.
+  bool must_include = false;
+  // Group-commit window: ops sharing a nonzero group linearize
+  // all-or-nothing in crash mode. 0 = the op is its own group.
+  std::uint64_t group = 0;
+  std::uint64_t invoke_seq = 0;
+  std::uint64_t response_seq = 0;  // kPendingSeq until respond()
+  bool completed() const;
+};
+
+inline constexpr std::uint64_t kPendingSeq = ~std::uint64_t{0};
+inline bool Op::completed() const { return response_seq != kPendingSeq; }
+
+// Records one concurrent run. Not thread-safe by itself — the schedmc
+// interleaver strictly serializes the logical threads that call it.
+class History {
+ public:
+  // Begin an operation; returns its id. `wval` is the value a put will
+  // write (rmw values arrive at stage_write).
+  std::size_t invoke(unsigned thread, OpKind kind, std::string key,
+                     std::string wval = std::string(),
+                     std::string key2 = std::string());
+
+  // A read-modify-write records what it observed and what it is about to
+  // write, BEFORE issuing the write — so a crash mid-write leaves an op
+  // the checker may include.
+  void stage_write(std::size_t id, bool found, std::string observed,
+                   std::string wval);
+  // A blind write (put/del/rename) reached its write phase.
+  void stage_write(std::size_t id);
+
+  void respond(std::size_t id);  // put (durability via mark_must_include)
+  void respond(std::size_t id, bool found,
+               std::string rval = std::string());  // get/del/rename/rmw
+
+  void set_group(std::size_t id, std::uint64_t group);
+  void mark_must_include(std::size_t id);
+
+  const std::vector<Op>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  void clear();
+
+ private:
+  std::uint64_t seq_ = 0;
+  std::vector<Op> ops_;
+};
+
+struct CheckResult {
+  bool ok = false;
+  std::string detail;  // why the search failed (empty on success)
+  std::uint64_t states_explored = 0;
+};
+
+// Search for a linearization of `ops`.
+//
+// Live mode (crashed = false): every op completed (pending ops are
+// excluded); all completed ops must linearize; if `final_state` is
+// non-null the full linearization must end in exactly that state.
+//
+// Crash mode (crashed = true): must_include ops must linearize; staged
+// or completed ops may; groups are all-or-nothing; the linearization
+// must end in exactly `*final_state` (the recovered state; required).
+//
+// `initial_state` seeds the sequential map (empty when null).
+CheckResult check_history(
+    const std::vector<Op>& ops,
+    const std::map<std::string, std::string>* final_state, bool crashed,
+    const std::map<std::string, std::string>* initial_state = nullptr);
+
+// Human-readable dump for failure messages.
+std::string format_history(const std::vector<Op>& ops);
+
+}  // namespace xp::schedmc

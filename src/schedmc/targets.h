@@ -1,0 +1,69 @@
+// Concurrent schedmc workloads for the four store families.
+//
+// Each factory builds a Target (schedmc/explorer.h) that runs a small
+// multi-threaded put/get/delete/rename workload against one store,
+// records every operation into a History, and knows how to rebuild the
+// store from the durable image after a crash. The workloads are
+// deterministic functions of (workload_seed, thread id), which is what
+// lets the explorer replay a recorded schedule exactly.
+//
+// Locking model: the logical threads are strictly serialized by the
+// interleaver, but the stores themselves are single-threaded code, so
+// each target takes the SchedLocks a real concurrent implementation
+// would take (a per-slot lock for pmemlib's counters, one store-wide
+// lock where internal state is shared — the LSM memtable/WAL, the NOVA
+// directory log, the cmap/stree structures). The explored interleavings
+// then reorder whole critical sections and everything outside them.
+//
+// TestFault::kElideRmwLock deliberately breaks the read-modify-write
+// critical section — the lock is dropped between the read and the
+// write — so two racing increments can both observe the same old value.
+// The resulting lost update is invisible to the store's own checkers
+// (every individual write is well-formed); only the linearizability
+// oracle can catch it, which is exactly what the negative tests assert.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "schedmc/explorer.h"
+
+namespace xp::schedmc {
+
+enum class TestFault {
+  kNone,
+  // Drop the lock between an increment's read and its write.
+  kElideRmwLock,
+};
+
+struct TargetOptions {
+  std::uint64_t workload_seed = 7;
+  unsigned threads = 3;
+  unsigned ops_per_thread = 5;
+  TestFault fault = TestFault::kNone;
+};
+
+// pmemlib: per-slot locked counter increments through undo-log
+// transactions (distinct tx lanes per thread).
+std::unique_ptr<Target> make_pmemlib_target(const TargetOptions& opts = {});
+
+// lsmkv: puts/gets/deletes plus a counter RMW under one db lock, with
+// group commit on — durability is acknowledged per WAL group, recorded
+// as all-or-nothing history groups.
+std::unique_ptr<Target> make_lsmkv_target(const TargetOptions& opts = {});
+
+// novafs: create/write/unlink/rename over a small set of names with
+// batched log appends (atomic rename).
+std::unique_ptr<Target> make_novafs_target(const TargetOptions& opts = {});
+
+// pmemkv cmap: put/get/remove with bounded writer lanes
+// (max_writers_per_dimm), mixing in-place and transactional value sizes.
+std::unique_ptr<Target> make_cmap_target(const TargetOptions& opts = {});
+
+// pmemkv stree: put/get/remove over enough keys to split leaves.
+std::unique_ptr<Target> make_stree_target(const TargetOptions& opts = {});
+
+// All five, in the order above.
+std::vector<std::unique_ptr<Target>> all_targets(const TargetOptions& opts = {});
+
+}  // namespace xp::schedmc

@@ -14,6 +14,7 @@
 // calendar.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -25,6 +26,50 @@
 #include "sim/simtime.h"
 
 namespace xp::sim {
+
+class ThreadCtx;
+
+// ---- Schedule-exploration hook points (src/schedmc) -----------------------
+//
+// Concurrency-relevant boundaries in the simulator and the stores above it
+// announce themselves through the owning thread's SchedHook. With no hook
+// installed (the default, and every production path) a sched point is one
+// predictable branch; with a hook (the schedmc interleaver) it is a yield
+// point where a controlled scheduler may suspend the calling logical
+// thread and run others. Hooks never touch simulated clocks, so hooked
+// and unhooked runs of the same interleaving are timing-identical.
+enum class SchedPoint : unsigned char {
+  kOpBegin,          // workload-level operation boundary
+  kFence,            // sfence/mfence retirement (every durability edge)
+  kBatchCommit,      // LineBatcher publish / batched log-append burst
+  kCacheInvalidate,  // a store dropped DRAM read-cache lines
+  kLockAcquire,      // SchedLock acquisition (before ownership)
+  kLockRelease,      // SchedLock release (after ownership dropped)
+  kLaneAcquire,      // tx undo-log lane / writer-lane admission taken
+  kLaneRelease,      // tx lane retired / writer lane released
+  kHandoff,          // group-commit leader/follower pending-buffer edge
+};
+inline constexpr unsigned kNumSchedPoints = 9;
+
+inline const char* sched_point_name(SchedPoint p) {
+  static constexpr const char* kNames[kNumSchedPoints] = {
+      "op_begin",     "fence",        "batch_commit",
+      "cache_invalidate", "lock_acquire", "lock_release",
+      "lane_acquire", "lane_release", "handoff"};
+  return kNames[static_cast<unsigned>(p)];
+}
+
+// Installed per-ThreadCtx by the schedmc interleaver. yield() may block
+// the calling host thread until the explored schedule grants it the run
+// token again; lock()/unlock() additionally implement blocking mutual
+// exclusion keyed by an opaque lock identity (see SchedLock).
+class SchedHook {
+ public:
+  virtual ~SchedHook() = default;
+  virtual void yield(ThreadCtx& ctx, SchedPoint point) = 0;
+  virtual void lock(ThreadCtx& ctx, const void* id) = 0;
+  virtual void unlock(ThreadCtx& ctx, const void* id) = 0;
+};
 
 class ThreadCtx {
  public:
@@ -59,6 +104,15 @@ class ThreadCtx {
   }
   void set_write_stream(unsigned s) { write_stream_ = s; }
   void clear_write_stream() { write_stream_ = kOwnStream; }
+
+  // Schedule-exploration hook (null on every production path). Announce a
+  // concurrency-relevant boundary; a yield may run other logical threads
+  // before returning but never changes this thread's simulated state.
+  void set_sched_hook(SchedHook* h) { sched_hook_ = h; }
+  SchedHook* sched_hook() const { return sched_hook_; }
+  void sched_point(SchedPoint p) {
+    if (sched_hook_) sched_hook_->yield(*this, p);
+  }
 
   Time now() const { return now_; }
   void advance_to(Time t) {
@@ -106,7 +160,57 @@ class ThreadCtx {
   Rng rng_;
   Time now_ = 0;
   unsigned write_stream_ = kOwnStream;
+  SchedHook* sched_hook_ = nullptr;
   std::deque<Time> inflight_;
+};
+
+// A mutual-exclusion point visible to the schedule explorer: the lock a
+// real concurrent implementation of the calling store would take. On
+// production paths (no hook) threads are strictly serialized by
+// construction, so lock() degenerates to owner bookkeeping plus an
+// assert; under the schedmc interleaver it is a blocking acquire whose
+// contention the explored schedule controls. Not recursive.
+class SchedLock {
+ public:
+  void lock(ThreadCtx& ctx) {
+    if (SchedHook* h = ctx.sched_hook()) {
+      h->lock(ctx, this);
+    } else {
+      assert(owner_ == kFree && "SchedLock: uncontended by construction "
+                                "without a schedule hook");
+    }
+    owner_ = ctx.id();
+  }
+
+  void unlock(ThreadCtx& ctx) {
+    assert(owner_ == ctx.id());
+    owner_ = kFree;
+    if (SchedHook* h = ctx.sched_hook()) h->unlock(ctx, this);
+  }
+
+  bool held() const { return owner_ != kFree; }
+
+ private:
+  static constexpr unsigned kFree = ~0u;
+  unsigned owner_ = kFree;
+};
+
+// Scoped SchedLock holder (exception-safe across CrashPointHit unwinds).
+class SchedLockGuard {
+ public:
+  SchedLockGuard(SchedLock& l, ThreadCtx& ctx) : lock_(l), ctx_(ctx) {
+    lock_.lock(ctx_);
+  }
+  // The release is a yield point under the schedmc interleaver, and an
+  // aborting run delivers its AbortRun exception there (never while
+  // another exception is already unwinding — the hook checks).
+  ~SchedLockGuard() noexcept(false) { lock_.unlock(ctx_); }
+  SchedLockGuard(const SchedLockGuard&) = delete;
+  SchedLockGuard& operator=(const SchedLockGuard&) = delete;
+
+ private:
+  SchedLock& lock_;
+  ThreadCtx& ctx_;
 };
 
 // A workload step: performs one application-level operation on the thread

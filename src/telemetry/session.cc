@@ -210,6 +210,13 @@ void Session::read_path(hw::ReadPathEventKind kind, sim::Time t,
   }
 }
 
+void Session::sched_point(unsigned kind, unsigned /*thread*/) {
+  // Untimed (schedule exploration does not advance simulated clocks), so
+  // no last_event_time_ update and no trace event — the counters feed the
+  // schedmc summary section only.
+  if (kind < sched_point_counts_.size()) ++sched_point_counts_[kind];
+}
+
 void Session::run_complete(const char* name, sim::Time start, sim::Time end) {
   last_event_time_ = std::max(last_event_time_, end);
   sampler_.sample(end);  // close the final interval at the run boundary
@@ -372,6 +379,23 @@ std::string Session::summary_json() const {
                 read_path_bytes_[static_cast<unsigned>(
                     hw::ReadPathEventKind::kStagedServe)],
                 &first);
+      out += '}';
+    }
+  }
+
+  // Schedule-exploration section — present only when a schedmc interleaver
+  // drove the run, so ordinary summaries are unchanged byte for byte.
+  {
+    std::uint64_t any = 0;
+    for (const std::uint64_t c : sched_point_counts_) any += c;
+    if (any != 0) {
+      out += ",\"schedmc\":{";
+      bool first = true;
+      for (unsigned k = 0; k < sim::kNumSchedPoints; ++k) {
+        append_kv(out, sim::sched_point_name(static_cast<sim::SchedPoint>(k)),
+                  sched_point_counts_[k], &first);
+      }
+      append_kv(out, "total", any, &first);
       out += '}';
     }
   }

@@ -59,14 +59,25 @@ void PmemNamespace::load(ThreadCtx& ctx, std::uint64_t off,
 void PmemNamespace::store(ThreadCtx& ctx, std::uint64_t off,
                           std::span<const std::uint8_t> data) {
   assert(off + data.size() <= opts_.size);
-  if (!platform_.frozen()) notify_store(off, data.size());
+  if (!platform_.frozen()) {
+    notify_store(off, data.size());
+    // With a DRAM read cache attached the invalidation just performed is
+    // a cross-thread visibility edge — let the schedule explorer preempt
+    // here. Observer-free stores announce nothing.
+    if (observer_ != nullptr)
+      ctx.sched_point(sim::SchedPoint::kCacheInvalidate);
+  }
   platform_.do_store(ctx, *this, off, data);
 }
 
 void PmemNamespace::ntstore(ThreadCtx& ctx, std::uint64_t off,
                             std::span<const std::uint8_t> data) {
   assert(off + data.size() <= opts_.size);
-  if (!platform_.frozen()) notify_store(off, data.size());
+  if (!platform_.frozen()) {
+    notify_store(off, data.size());
+    if (observer_ != nullptr)
+      ctx.sched_point(sim::SchedPoint::kCacheInvalidate);
+  }
   platform_.do_ntstore(ctx, *this, off, data);
 }
 
@@ -85,6 +96,11 @@ void PmemNamespace::clflush(ThreadCtx& ctx, std::uint64_t off,
 }
 
 void PmemNamespace::sfence(ThreadCtx& ctx) {
+  // Fence retirement is the durability edge every persistence protocol
+  // hinges on — announce it before the frozen check, so threads that
+  // outlive a crash under the schedule explorer are unwound at their next
+  // fence instead of running on against a dead machine.
+  ctx.sched_point(sim::SchedPoint::kFence);
   if (platform_.frozen()) return;
   ctx.drain();
   ctx.advance_by(platform_.timing().fence_overhead);

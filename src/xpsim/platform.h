@@ -317,6 +317,15 @@ class Platform {
   // before every independent sim::Scheduler run on a reused Platform.
   void reset_timing();
 
+  // Adopt every namespace image's debug single-owner latch for the
+  // calling host thread (see SparseImage::rebind_owner). The schedmc
+  // interleaver calls this on each run-token handoff so its strictly
+  // serialized host threads pass the latch instead of tripping it; any
+  // access without holding the token still fails fast. Release: no-op.
+  void adopt_host_owner() {
+    for (auto& ns : namespaces_) ns->image_.rebind_owner();
+  }
+
   // ---- Telemetry (src/telemetry) -----------------------------------------
   // Attach a sink to receive structured events from every device and a
   // tick per data-path call (see telemetry_sink.h). At most one sink; the

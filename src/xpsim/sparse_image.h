@@ -74,6 +74,17 @@ class SparseImage {
 
   std::size_t resident_pages() const { return pages_.size(); }
 
+  // Hand the debug single-owner latch to the calling host thread. Only
+  // the schedmc interleaver uses this: it runs logical threads on
+  // distinct host threads strictly serialized by a run token, and each
+  // newly granted token holder adopts the latch — so check_owner() still
+  // fails fast on genuinely concurrent access. Release builds: no-op.
+  void rebind_owner() const {
+#ifndef NDEBUG
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+
   // Drop all contents (used for Memory-Mode namespaces on power failure:
   // they are volatile by construction).
   void clear() {

@@ -98,6 +98,12 @@ class TelemetrySink {
   virtual void read_path(ReadPathEventKind /*kind*/, sim::Time /*t*/,
                          std::uint64_t /*bytes*/) {}
 
+  // A schedule-exploration yield point (src/schedmc) announced by a
+  // hooked thread. `kind` indexes sim::SchedPoint (sched_point_name()).
+  // Only schedmc interleaver runs emit these; production runs carry no
+  // hook and emit none.
+  virtual void sched_point(unsigned /*kind*/, unsigned /*thread*/) {}
+
   // Called once per timed data-path operation (load/store/ntstore/flush/
   // fence) with the issuing thread's clock; drives periodic samplers.
   virtual void tick(sim::Time /*now*/) {}

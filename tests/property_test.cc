@@ -4,6 +4,9 @@
 //    fences against a reference model that tracks exactly which bytes are
 //    durable; after a crash the platform must agree byte-for-byte.
 //  * Concurrent transactions in separate lanes roll back independently.
+//  * LineBatcher / LineReader round-trips: batched line-granular writes
+//    and reads are byte-identical to plain store/load sequences on
+//    randomized offset/size programs.
 //  * End-to-end determinism: identical seeds give identical simulations.
 #include <gtest/gtest.h>
 
@@ -11,7 +14,9 @@
 #include <vector>
 
 #include "lattester/runner.h"
+#include "pmemlib/linebatch.h"
 #include "pmemlib/linereader.h"
+#include "pmemlib/readcache.h"
 #include "pmemlib/pool.h"
 #include "sim/scheduler.h"
 #include "telemetry/registry.h"
@@ -451,6 +456,100 @@ TEST_P(PoisonShadowOracle, ShadowModelAgreesAtEveryStep) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PoisonShadowOracle,
                          ::testing::Values(41, 43, 47, 53));
+
+// ----------------------------------------- line batcher / reader --------
+// LineBatcher round-trip: a randomized program of variable-size appends
+// published with commit(hold) must leave the namespace byte-identical to
+// issuing the same bytes as plain persisted stores.
+class LineRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LineRoundTrip, BatcherMatchesPlainStores) {
+  constexpr std::uint64_t kRegion = 32 << 10;
+  Platform pa, pb;
+  PmemNamespace& na = pa.optane(1 << 20);
+  PmemNamespace& nb = pb.optane(1 << 20);
+  ThreadCtx ta({.id = 0, .socket = 0, .mlp = 8, .seed = 5});
+  ThreadCtx tb({.id = 0, .socket = 0, .mlp = 8, .seed = 5});
+  sim::Rng rng(GetParam());
+
+  pmem::LineBatcher batch;
+  std::uint64_t cursor = 256;  // keep away from offset 0
+  for (unsigned round = 0; round < 40 && cursor + 2048 < kRegion; ++round) {
+    batch.reset(cursor);
+    const unsigned pieces = 1 + static_cast<unsigned>(rng.uniform(6));
+    std::vector<std::uint8_t> all;
+    for (unsigned p = 0; p < pieces; ++p) {
+      std::vector<std::uint8_t> piece(1 + rng.uniform(96));
+      for (auto& b : piece) b = static_cast<std::uint8_t>(rng.uniform(256));
+      batch.append(std::span<const std::uint8_t>(piece.data(), piece.size()));
+      all.insert(all.end(), piece.begin(), piece.end());
+    }
+    const std::size_t hold = rng.uniform(std::min<std::size_t>(9, all.size()));
+    batch.commit(ta, na, hold);
+    na.sfence(ta);  // make the held-back commit word durable too
+
+    nb.store_persist(tb, cursor,
+                     std::span<const std::uint8_t>(all.data(), all.size()));
+    cursor += all.size() + rng.uniform(128);
+  }
+
+  std::vector<std::uint8_t> da(kRegion), db(kRegion);
+  na.load(ta, 0, std::span<std::uint8_t>(da.data(), da.size()));
+  nb.load(tb, 0, std::span<std::uint8_t>(db.data(), db.size()));
+  EXPECT_EQ(da, db);
+}
+
+// LineReader round-trip: randomized (offset, length, window) fetches —
+// with and without a DRAM line cache, interleaved with stores that must
+// invalidate it — always return exactly what plain loads return.
+TEST_P(LineRoundTrip, ReaderMatchesPlainLoads) {
+  constexpr std::uint64_t kRegion = 16 << 10;
+  Platform platform;
+  PmemNamespace& ns = platform.optane(1 << 20);
+  ThreadCtx t({.id = 0, .socket = 0, .mlp = 8, .seed = 9});
+  sim::Rng rng(GetParam() * 31 + 7);
+
+  std::vector<std::uint8_t> image(kRegion);
+  for (auto& b : image) b = static_cast<std::uint8_t>(rng.uniform(256));
+  ns.store_persist(t, 0, std::span<const std::uint8_t>(image.data(),
+                                                       image.size()));
+
+  pmem::ReadCache cache(ns, {.capacity_lines = 32});
+  pmem::LineReader reader;
+  if (rng.uniform(2) == 0) reader.attach_cache(&cache);
+
+  for (unsigned i = 0; i < 200; ++i) {
+    if (rng.uniform(8) == 0) {
+      // Overwrite a random run; the observer hook must invalidate any
+      // cached lines so subsequent fetches see the new bytes.
+      const std::uint64_t off = rng.uniform(kRegion - 256);
+      std::vector<std::uint8_t> nw(1 + rng.uniform(200));
+      for (auto& b : nw) b = static_cast<std::uint8_t>(rng.uniform(256));
+      ns.store_persist(t, off,
+                       std::span<const std::uint8_t>(nw.data(), nw.size()));
+      std::memcpy(image.data() + off, nw.data(), nw.size());
+      reader.discard();  // stores under a live staging span require this
+    }
+    const std::size_t len = 1 + rng.uniform(512);
+    const std::uint64_t off = rng.uniform(kRegion - len);
+    const std::size_t window =
+        rng.uniform(2) == 0 ? 0 : len + rng.uniform(1024);
+    if (rng.uniform(2) == 0) {
+      const std::uint8_t* p = reader.fetch(t, ns, off, len, window);
+      ASSERT_EQ(std::memcmp(p, image.data() + off, len), 0)
+          << "fetch mismatch at off=" << off << " len=" << len;
+    } else {
+      std::vector<std::uint8_t> out(len);
+      reader.read(t, ns, off, std::span<std::uint8_t>(out.data(), len),
+                  window);
+      ASSERT_EQ(std::memcmp(out.data(), image.data() + off, len), 0)
+          << "read mismatch at off=" << off << " len=" << len;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LineRoundTrip,
+                         ::testing::Values(61, 67, 71, 73));
 
 // ---------------------------------------------------- determinism -------
 TEST(Determinism, IdenticalSeedsIdenticalResults) {
