@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eadr.dir/abl_eadr.cc.o"
+  "CMakeFiles/abl_eadr.dir/abl_eadr.cc.o.d"
+  "abl_eadr"
+  "abl_eadr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eadr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

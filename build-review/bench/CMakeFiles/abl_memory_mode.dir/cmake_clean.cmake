@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_memory_mode.dir/abl_memory_mode.cc.o"
+  "CMakeFiles/abl_memory_mode.dir/abl_memory_mode.cc.o.d"
+  "abl_memory_mode"
+  "abl_memory_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_memory_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

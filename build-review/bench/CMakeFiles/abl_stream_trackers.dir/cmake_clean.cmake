@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stream_trackers.dir/abl_stream_trackers.cc.o"
+  "CMakeFiles/abl_stream_trackers.dir/abl_stream_trackers.cc.o.d"
+  "abl_stream_trackers"
+  "abl_stream_trackers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stream_trackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_stream_trackers.
+# This may be replaced when dependencies are built.

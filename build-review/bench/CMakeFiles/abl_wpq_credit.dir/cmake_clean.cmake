@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wpq_credit.dir/abl_wpq_credit.cc.o"
+  "CMakeFiles/abl_wpq_credit.dir/abl_wpq_credit.cc.o.d"
+  "abl_wpq_credit"
+  "abl_wpq_credit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wpq_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

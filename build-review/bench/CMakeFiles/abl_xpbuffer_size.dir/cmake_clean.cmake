@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_xpbuffer_size.dir/abl_xpbuffer_size.cc.o"
+  "CMakeFiles/abl_xpbuffer_size.dir/abl_xpbuffer_size.cc.o.d"
+  "abl_xpbuffer_size"
+  "abl_xpbuffer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_xpbuffer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

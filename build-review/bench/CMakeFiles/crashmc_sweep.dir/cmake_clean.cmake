@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crashmc_sweep.dir/crashmc_sweep.cc.o"
+  "CMakeFiles/crashmc_sweep.dir/crashmc_sweep.cc.o.d"
+  "crashmc_sweep"
+  "crashmc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crashmc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_idle_latency.dir/fig02_idle_latency.cc.o"
+  "CMakeFiles/fig02_idle_latency.dir/fig02_idle_latency.cc.o.d"
+  "fig02_idle_latency"
+  "fig02_idle_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_idle_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_tail_latency.dir/fig03_tail_latency.cc.o"
+  "CMakeFiles/fig03_tail_latency.dir/fig03_tail_latency.cc.o.d"
+  "fig03_tail_latency"
+  "fig03_tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_bw_threads.dir/fig04_bw_threads.cc.o"
+  "CMakeFiles/fig04_bw_threads.dir/fig04_bw_threads.cc.o.d"
+  "fig04_bw_threads"
+  "fig04_bw_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_bw_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

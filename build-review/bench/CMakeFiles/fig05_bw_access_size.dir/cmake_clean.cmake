@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bw_access_size.dir/fig05_bw_access_size.cc.o"
+  "CMakeFiles/fig05_bw_access_size.dir/fig05_bw_access_size.cc.o.d"
+  "fig05_bw_access_size"
+  "fig05_bw_access_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bw_access_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

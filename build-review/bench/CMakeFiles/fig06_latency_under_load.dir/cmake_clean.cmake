@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_latency_under_load.dir/fig06_latency_under_load.cc.o"
+  "CMakeFiles/fig06_latency_under_load.dir/fig06_latency_under_load.cc.o.d"
+  "fig06_latency_under_load"
+  "fig06_latency_under_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_latency_under_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

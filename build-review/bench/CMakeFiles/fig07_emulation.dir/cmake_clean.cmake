@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_emulation.dir/fig07_emulation.cc.o"
+  "CMakeFiles/fig07_emulation.dir/fig07_emulation.cc.o.d"
+  "fig07_emulation"
+  "fig07_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

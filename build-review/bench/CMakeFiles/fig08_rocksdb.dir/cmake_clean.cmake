@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_rocksdb.dir/fig08_rocksdb.cc.o"
+  "CMakeFiles/fig08_rocksdb.dir/fig08_rocksdb.cc.o.d"
+  "fig08_rocksdb"
+  "fig08_rocksdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_rocksdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ewr_correlation.dir/fig09_ewr_correlation.cc.o"
+  "CMakeFiles/fig09_ewr_correlation.dir/fig09_ewr_correlation.cc.o.d"
+  "fig09_ewr_correlation"
+  "fig09_ewr_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ewr_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

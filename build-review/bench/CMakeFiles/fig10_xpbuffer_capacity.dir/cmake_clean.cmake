@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_xpbuffer_capacity.dir/fig10_xpbuffer_capacity.cc.o"
+  "CMakeFiles/fig10_xpbuffer_capacity.dir/fig10_xpbuffer_capacity.cc.o.d"
+  "fig10_xpbuffer_capacity"
+  "fig10_xpbuffer_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_xpbuffer_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_fileio_latency.cc" "bench/CMakeFiles/fig12_fileio_latency.dir/fig12_fileio_latency.cc.o" "gcc" "bench/CMakeFiles/fig12_fileio_latency.dir/fig12_fileio_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/novafs/CMakeFiles/novafs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pmemlib/CMakeFiles/pmemlib.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xpsim/CMakeFiles/xpsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_fileio_latency.dir/fig12_fileio_latency.cc.o"
+  "CMakeFiles/fig12_fileio_latency.dir/fig12_fileio_latency.cc.o.d"
+  "fig12_fileio_latency"
+  "fig12_fileio_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fileio_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

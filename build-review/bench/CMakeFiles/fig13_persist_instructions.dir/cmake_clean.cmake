@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_persist_instructions.dir/fig13_persist_instructions.cc.o"
+  "CMakeFiles/fig13_persist_instructions.dir/fig13_persist_instructions.cc.o.d"
+  "fig13_persist_instructions"
+  "fig13_persist_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_persist_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

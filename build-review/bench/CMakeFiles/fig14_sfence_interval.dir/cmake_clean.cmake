@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sfence_interval.dir/fig14_sfence_interval.cc.o"
+  "CMakeFiles/fig14_sfence_interval.dir/fig14_sfence_interval.cc.o.d"
+  "fig14_sfence_interval"
+  "fig14_sfence_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sfence_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

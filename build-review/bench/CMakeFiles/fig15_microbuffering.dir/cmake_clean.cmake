@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_microbuffering.dir/fig15_microbuffering.cc.o"
+  "CMakeFiles/fig15_microbuffering.dir/fig15_microbuffering.cc.o.d"
+  "fig15_microbuffering"
+  "fig15_microbuffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_microbuffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

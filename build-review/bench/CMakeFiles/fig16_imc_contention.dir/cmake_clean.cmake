@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_imc_contention.dir/fig16_imc_contention.cc.o"
+  "CMakeFiles/fig16_imc_contention.dir/fig16_imc_contention.cc.o.d"
+  "fig16_imc_contention"
+  "fig16_imc_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_imc_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

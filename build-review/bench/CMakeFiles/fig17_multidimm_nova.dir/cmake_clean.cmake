@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_multidimm_nova.dir/fig17_multidimm_nova.cc.o"
+  "CMakeFiles/fig17_multidimm_nova.dir/fig17_multidimm_nova.cc.o.d"
+  "fig17_multidimm_nova"
+  "fig17_multidimm_nova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_multidimm_nova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

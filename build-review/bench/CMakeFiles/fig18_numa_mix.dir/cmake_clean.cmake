@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_numa_mix.dir/fig18_numa_mix.cc.o"
+  "CMakeFiles/fig18_numa_mix.dir/fig18_numa_mix.cc.o.d"
+  "fig18_numa_mix"
+  "fig18_numa_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_numa_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

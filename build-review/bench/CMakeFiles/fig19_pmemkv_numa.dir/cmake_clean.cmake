@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_pmemkv_numa.dir/fig19_pmemkv_numa.cc.o"
+  "CMakeFiles/fig19_pmemkv_numa.dir/fig19_pmemkv_numa.cc.o.d"
+  "fig19_pmemkv_numa"
+  "fig19_pmemkv_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_pmemkv_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

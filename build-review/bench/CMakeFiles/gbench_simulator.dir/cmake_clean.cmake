@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_simulator.dir/gbench_simulator.cc.o"
+  "CMakeFiles/gbench_simulator.dir/gbench_simulator.cc.o.d"
+  "gbench_simulator"
+  "gbench_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedmc_sweep.dir/schedmc_sweep.cc.o"
+  "CMakeFiles/schedmc_sweep.dir/schedmc_sweep.cc.o.d"
+  "schedmc_sweep"
+  "schedmc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedmc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

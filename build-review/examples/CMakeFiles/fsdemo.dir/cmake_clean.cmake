@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdemo.dir/fsdemo.cpp.o"
+  "CMakeFiles/fsdemo.dir/fsdemo.cpp.o.d"
+  "fsdemo"
+  "fsdemo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdemo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guideline_advisor.dir/guideline_advisor.cpp.o"
+  "CMakeFiles/guideline_advisor.dir/guideline_advisor.cpp.o.d"
+  "guideline_advisor"
+  "guideline_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guideline_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

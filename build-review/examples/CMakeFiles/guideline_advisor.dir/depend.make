@@ -1,0 +1,2 @@
+# Empty dependencies file for guideline_advisor.
+# This may be replaced when dependencies are built.

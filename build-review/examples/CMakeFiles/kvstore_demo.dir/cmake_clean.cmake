@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_demo.dir/kvstore_demo.cpp.o"
+  "CMakeFiles/kvstore_demo.dir/kvstore_demo.cpp.o.d"
+  "kvstore_demo"
+  "kvstore_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

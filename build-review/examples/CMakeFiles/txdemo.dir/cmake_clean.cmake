@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txdemo.dir/txdemo.cpp.o"
+  "CMakeFiles/txdemo.dir/txdemo.cpp.o.d"
+  "txdemo"
+  "txdemo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txdemo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

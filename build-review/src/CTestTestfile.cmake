@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("sweep")
+subdirs("xpsim")
+subdirs("telemetry")
+subdirs("lattester")
+subdirs("pmemlib")
+subdirs("lsmkv")
+subdirs("novafs")
+subdirs("pmemkv")
+subdirs("fio")
+subdirs("crashmc")
+subdirs("schedmc")

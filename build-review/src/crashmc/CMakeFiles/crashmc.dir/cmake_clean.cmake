@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crashmc.dir/explorer.cc.o"
+  "CMakeFiles/crashmc.dir/explorer.cc.o.d"
+  "CMakeFiles/crashmc.dir/faultcampaign.cc.o"
+  "CMakeFiles/crashmc.dir/faultcampaign.cc.o.d"
+  "CMakeFiles/crashmc.dir/workloads.cc.o"
+  "CMakeFiles/crashmc.dir/workloads.cc.o.d"
+  "libcrashmc.a"
+  "libcrashmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crashmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

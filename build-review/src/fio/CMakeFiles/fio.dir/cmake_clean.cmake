@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fio.dir/fio.cc.o"
+  "CMakeFiles/fio.dir/fio.cc.o.d"
+  "libfio.a"
+  "libfio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

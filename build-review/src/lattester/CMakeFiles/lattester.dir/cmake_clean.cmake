@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattester.dir/kernels.cc.o"
+  "CMakeFiles/lattester.dir/kernels.cc.o.d"
+  "CMakeFiles/lattester.dir/runner.cc.o"
+  "CMakeFiles/lattester.dir/runner.cc.o.d"
+  "liblattester.a"
+  "liblattester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsmkv/db.cc" "src/lsmkv/CMakeFiles/lsmkv.dir/db.cc.o" "gcc" "src/lsmkv/CMakeFiles/lsmkv.dir/db.cc.o.d"
+  "/root/repo/src/lsmkv/pskiplist.cc" "src/lsmkv/CMakeFiles/lsmkv.dir/pskiplist.cc.o" "gcc" "src/lsmkv/CMakeFiles/lsmkv.dir/pskiplist.cc.o.d"
+  "/root/repo/src/lsmkv/sstable.cc" "src/lsmkv/CMakeFiles/lsmkv.dir/sstable.cc.o" "gcc" "src/lsmkv/CMakeFiles/lsmkv.dir/sstable.cc.o.d"
+  "/root/repo/src/lsmkv/wal.cc" "src/lsmkv/CMakeFiles/lsmkv.dir/wal.cc.o" "gcc" "src/lsmkv/CMakeFiles/lsmkv.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/pmemlib/CMakeFiles/pmemlib.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/xpsim/CMakeFiles/xpsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmkv.dir/db.cc.o"
+  "CMakeFiles/lsmkv.dir/db.cc.o.d"
+  "CMakeFiles/lsmkv.dir/pskiplist.cc.o"
+  "CMakeFiles/lsmkv.dir/pskiplist.cc.o.d"
+  "CMakeFiles/lsmkv.dir/sstable.cc.o"
+  "CMakeFiles/lsmkv.dir/sstable.cc.o.d"
+  "CMakeFiles/lsmkv.dir/wal.cc.o"
+  "CMakeFiles/lsmkv.dir/wal.cc.o.d"
+  "liblsmkv.a"
+  "liblsmkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/novafs.dir/daxfs.cc.o"
+  "CMakeFiles/novafs.dir/daxfs.cc.o.d"
+  "CMakeFiles/novafs.dir/novafs.cc.o"
+  "CMakeFiles/novafs.dir/novafs.cc.o.d"
+  "libnovafs.a"
+  "libnovafs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/novafs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

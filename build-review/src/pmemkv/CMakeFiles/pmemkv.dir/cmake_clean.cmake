@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemkv.dir/cmap.cc.o"
+  "CMakeFiles/pmemkv.dir/cmap.cc.o.d"
+  "CMakeFiles/pmemkv.dir/stree.cc.o"
+  "CMakeFiles/pmemkv.dir/stree.cc.o.d"
+  "libpmemkv.a"
+  "libpmemkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

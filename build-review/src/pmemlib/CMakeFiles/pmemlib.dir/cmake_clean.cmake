@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemlib.dir/microbuf.cc.o"
+  "CMakeFiles/pmemlib.dir/microbuf.cc.o.d"
+  "CMakeFiles/pmemlib.dir/pool.cc.o"
+  "CMakeFiles/pmemlib.dir/pool.cc.o.d"
+  "libpmemlib.a"
+  "libpmemlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

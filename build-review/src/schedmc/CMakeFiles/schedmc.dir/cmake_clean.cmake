@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedmc.dir/explorer.cc.o"
+  "CMakeFiles/schedmc.dir/explorer.cc.o.d"
+  "CMakeFiles/schedmc.dir/history.cc.o"
+  "CMakeFiles/schedmc.dir/history.cc.o.d"
+  "CMakeFiles/schedmc.dir/interleave.cc.o"
+  "CMakeFiles/schedmc.dir/interleave.cc.o.d"
+  "CMakeFiles/schedmc.dir/targets.cc.o"
+  "CMakeFiles/schedmc.dir/targets.cc.o.d"
+  "libschedmc.a"
+  "libschedmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/histogram.cc.o"
+  "CMakeFiles/sim.dir/histogram.cc.o.d"
+  "CMakeFiles/sim.dir/scheduler.cc.o"
+  "CMakeFiles/sim.dir/scheduler.cc.o.d"
+  "libsim.a"
+  "libsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

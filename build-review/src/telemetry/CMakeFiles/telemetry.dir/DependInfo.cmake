@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/registry.cc" "src/telemetry/CMakeFiles/telemetry.dir/registry.cc.o" "gcc" "src/telemetry/CMakeFiles/telemetry.dir/registry.cc.o.d"
+  "/root/repo/src/telemetry/sampler.cc" "src/telemetry/CMakeFiles/telemetry.dir/sampler.cc.o" "gcc" "src/telemetry/CMakeFiles/telemetry.dir/sampler.cc.o.d"
+  "/root/repo/src/telemetry/session.cc" "src/telemetry/CMakeFiles/telemetry.dir/session.cc.o" "gcc" "src/telemetry/CMakeFiles/telemetry.dir/session.cc.o.d"
+  "/root/repo/src/telemetry/trace.cc" "src/telemetry/CMakeFiles/telemetry.dir/trace.cc.o" "gcc" "src/telemetry/CMakeFiles/telemetry.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/xpsim/CMakeFiles/xpsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry.dir/registry.cc.o"
+  "CMakeFiles/telemetry.dir/registry.cc.o.d"
+  "CMakeFiles/telemetry.dir/sampler.cc.o"
+  "CMakeFiles/telemetry.dir/sampler.cc.o.d"
+  "CMakeFiles/telemetry.dir/session.cc.o"
+  "CMakeFiles/telemetry.dir/session.cc.o.d"
+  "CMakeFiles/telemetry.dir/trace.cc.o"
+  "CMakeFiles/telemetry.dir/trace.cc.o.d"
+  "libtelemetry.a"
+  "libtelemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpsim/platform.cc" "src/xpsim/CMakeFiles/xpsim.dir/platform.cc.o" "gcc" "src/xpsim/CMakeFiles/xpsim.dir/platform.cc.o.d"
+  "/root/repo/src/xpsim/xpbuffer.cc" "src/xpsim/CMakeFiles/xpsim.dir/xpbuffer.cc.o" "gcc" "src/xpsim/CMakeFiles/xpsim.dir/xpbuffer.cc.o.d"
+  "/root/repo/src/xpsim/xpdimm.cc" "src/xpsim/CMakeFiles/xpsim.dir/xpdimm.cc.o" "gcc" "src/xpsim/CMakeFiles/xpsim.dir/xpdimm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpsim.dir/platform.cc.o"
+  "CMakeFiles/xpsim.dir/platform.cc.o.d"
+  "CMakeFiles/xpsim.dir/xpbuffer.cc.o"
+  "CMakeFiles/xpsim.dir/xpbuffer.cc.o.d"
+  "CMakeFiles/xpsim.dir/xpdimm.cc.o"
+  "CMakeFiles/xpsim.dir/xpdimm.cc.o.d"
+  "libxpsim.a"
+  "libxpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xpsim.
+# This may be replaced when dependencies are built.

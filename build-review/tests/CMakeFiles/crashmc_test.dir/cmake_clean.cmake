@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crashmc_test.dir/crashmc_test.cc.o"
+  "CMakeFiles/crashmc_test.dir/crashmc_test.cc.o.d"
+  "crashmc_test"
+  "crashmc_test.pdb"
+  "crashmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crashmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crc32_test.dir/crc32_test.cc.o"
+  "CMakeFiles/crc32_test.dir/crc32_test.cc.o.d"
+  "crc32_test"
+  "crc32_test.pdb"
+  "crc32_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crc32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

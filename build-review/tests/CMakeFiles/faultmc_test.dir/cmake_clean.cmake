@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultmc_test.dir/faultmc_test.cc.o"
+  "CMakeFiles/faultmc_test.dir/faultmc_test.cc.o.d"
+  "faultmc_test"
+  "faultmc_test.pdb"
+  "faultmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

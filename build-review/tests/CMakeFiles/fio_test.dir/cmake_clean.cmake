@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fio_test.dir/fio_test.cc.o"
+  "CMakeFiles/fio_test.dir/fio_test.cc.o.d"
+  "fio_test"
+  "fio_test.pdb"
+  "fio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

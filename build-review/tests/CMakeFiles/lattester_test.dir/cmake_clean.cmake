@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattester_test.dir/lattester_test.cc.o"
+  "CMakeFiles/lattester_test.dir/lattester_test.cc.o.d"
+  "lattester_test"
+  "lattester_test.pdb"
+  "lattester_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmkv_test.dir/lsmkv_test.cc.o"
+  "CMakeFiles/lsmkv_test.dir/lsmkv_test.cc.o.d"
+  "lsmkv_test"
+  "lsmkv_test.pdb"
+  "lsmkv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmkv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

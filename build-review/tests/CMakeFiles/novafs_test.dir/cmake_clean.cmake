@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/novafs_test.dir/novafs_test.cc.o"
+  "CMakeFiles/novafs_test.dir/novafs_test.cc.o.d"
+  "novafs_test"
+  "novafs_test.pdb"
+  "novafs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/novafs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

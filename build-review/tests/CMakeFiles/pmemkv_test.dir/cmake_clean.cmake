@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemkv_test.dir/pmemkv_test.cc.o"
+  "CMakeFiles/pmemkv_test.dir/pmemkv_test.cc.o.d"
+  "pmemkv_test"
+  "pmemkv_test.pdb"
+  "pmemkv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemkv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemlib_test.dir/pmemlib_test.cc.o"
+  "CMakeFiles/pmemlib_test.dir/pmemlib_test.cc.o.d"
+  "pmemlib_test"
+  "pmemlib_test.pdb"
+  "pmemlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

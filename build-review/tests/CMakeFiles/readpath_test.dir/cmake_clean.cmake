@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readpath_test.dir/readpath_test.cc.o"
+  "CMakeFiles/readpath_test.dir/readpath_test.cc.o.d"
+  "readpath_test"
+  "readpath_test.pdb"
+  "readpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

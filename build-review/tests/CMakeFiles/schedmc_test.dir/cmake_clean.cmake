@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedmc_test.dir/schedmc_test.cc.o"
+  "CMakeFiles/schedmc_test.dir/schedmc_test.cc.o.d"
+  "schedmc_test"
+  "schedmc_test.pdb"
+  "schedmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

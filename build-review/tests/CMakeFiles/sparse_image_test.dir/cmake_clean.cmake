@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_image_test.dir/sparse_image_test.cc.o"
+  "CMakeFiles/sparse_image_test.dir/sparse_image_test.cc.o.d"
+  "sparse_image_test"
+  "sparse_image_test.pdb"
+  "sparse_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stree_test.dir/stree_test.cc.o"
+  "CMakeFiles/stree_test.dir/stree_test.cc.o.d"
+  "stree_test"
+  "stree_test.pdb"
+  "stree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writecombine_test.dir/writecombine_test.cc.o"
+  "CMakeFiles/writecombine_test.dir/writecombine_test.cc.o.d"
+  "writecombine_test"
+  "writecombine_test.pdb"
+  "writecombine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writecombine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

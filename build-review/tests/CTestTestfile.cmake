@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/platform_test[1]_include.cmake")
+include("/root/repo/build-review/tests/lattester_test[1]_include.cmake")
+include("/root/repo/build-review/tests/pmemlib_test[1]_include.cmake")
+include("/root/repo/build-review/tests/lsmkv_test[1]_include.cmake")
+include("/root/repo/build-review/tests/novafs_test[1]_include.cmake")
+include("/root/repo/build-review/tests/pmemkv_test[1]_include.cmake")
+include("/root/repo/build-review/tests/stree_test[1]_include.cmake")
+include("/root/repo/build-review/tests/fio_test[1]_include.cmake")
+include("/root/repo/build-review/tests/memory_mode_test[1]_include.cmake")
+include("/root/repo/build-review/tests/device_test[1]_include.cmake")
+include("/root/repo/build-review/tests/property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sparse_image_test[1]_include.cmake")
+include("/root/repo/build-review/tests/crashmc_test[1]_include.cmake")
+include("/root/repo/build-review/tests/faultmc_test[1]_include.cmake")
+include("/root/repo/build-review/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build-review/tests/crc32_test[1]_include.cmake")
+include("/root/repo/build-review/tests/writecombine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/readpath_test[1]_include.cmake")
+include("/root/repo/build-review/tests/schedmc_test[1]_include.cmake")
