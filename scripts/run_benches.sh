@@ -18,8 +18,8 @@ BUILD=build-release
 
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target \
-    bench_timing bench_stores fig02_idle_latency fig04_bw_threads \
-    fig05_bw_access_size fig06_latency_under_load \
+    bench_timing bench_stores bench_ycsb fig02_idle_latency \
+    fig04_bw_threads fig05_bw_access_size fig06_latency_under_load \
     fig13_persist_instructions fig14_sfence_interval \
     fig16_imc_contention > /dev/null
 
@@ -34,6 +34,14 @@ echo "== bench_stores (jobs=$JOBS) =="
 # non-zero if its serial vs parallel grids diverge (determinism).
 "$BUILD/bench/bench_stores" --jobs "$JOBS" --host-cores "$CORES" \
     --out BENCH_stores.json
+
+echo
+echo "== bench_ycsb (jobs=$JOBS) =="
+# YCSB A-F over all four stores plus the sharded per-DIMM frontend.
+# Exits non-zero if its serial vs parallel grids diverge (the engine's
+# byte-identical-at-any---jobs contract).
+"$BUILD/bench/bench_ycsb" --jobs "$JOBS" --host-cores "$CORES" \
+    --out BENCH_YCSB.json
 
 # Determinism guard: byte-identical tables regardless of job count. The
 # quick benches run their full sweeps; the long ones are already covered

@@ -12,6 +12,7 @@
 #include "pmemlib/pmem_ops.h"
 #include "pmemlib/pool.h"
 #include "sim/rng.h"
+#include "workload/shard.h"
 
 namespace xp::crashmc {
 
@@ -722,6 +723,138 @@ class StreeTarget final : public Target {
   std::map<std::string, std::set<std::string>> history_;
 };
 
+// ------------------------------------------------------------- sharded --
+
+// ShardedStore over two per-DIMM lsmkv shards, write-combining and
+// deferred background compaction on. The workload mixes single-key
+// puts/deletes, cross-shard batched dispatches, and donated compaction
+// turns. Crash-atomicity is per (dispatch, shard): a shard's slice of a
+// batch is one WAL group burst, but the batch does not commit across
+// shards as a unit — so the model keeps per-shard pre/post states and
+// recovery is checked shard by shard.
+class ShardedTarget final : public Target {
+ public:
+  std::string name() const override { return "sharded-lsmkv"; }
+
+  hw::Platform& reset() override {
+    platform_ = std::make_unique<hw::Platform>();
+    ns_ = workload::ShardedStore::make_namespaces(*platform_, kShards,
+                                                  16ull << 20);
+    store_ = std::make_unique<workload::ShardedStore>(ns_, shard_options());
+    sim::ThreadCtx ctx = make_thread(0);
+    store_->create(ctx);
+    for (unsigned s = 0; s < kShards; ++s) {
+      prev_[s].clear();
+      cur_[s].clear();
+    }
+    platform_->reset_timing();
+    return *platform_;
+  }
+
+  hw::PmemNamespace& nspace() override { return *ns_[0]; }
+
+  void run() override {
+    sim::ThreadCtx ctx = make_thread(0);
+    sim::Rng rng(13);
+    for (unsigned op = 0; op < kOps; ++op) {
+      if (rng.uniform(3) == 0) {
+        // Cross-shard batched dispatch: 2-4 ops, partitioned by the
+        // router; each involved shard's slice commits atomically, and
+        // the shard's model state advances by the whole slice.
+        const unsigned n = 2 + static_cast<unsigned>(rng.uniform(3));
+        std::vector<workload::BatchOp> batch;
+        for (unsigned i = 0; i < n; ++i) {
+          workload::BatchOp b;
+          b.key = "key" + std::to_string(rng.uniform(kKeys));
+          const unsigned s = workload::shard_of(b.key, kShards);
+          b.del = rng.uniform(4) == 0 && cur_[s].count(b.key) != 0;
+          if (!b.del)
+            b.value = b.key + "#" + std::to_string(op) + "_" +
+                      std::string(4 + rng.uniform(12),
+                                  'a' + static_cast<char>(op % 26));
+          batch.push_back(std::move(b));
+        }
+        bool involved[kShards] = {};
+        for (const auto& b : batch)
+          involved[workload::shard_of(b.key, kShards)] = true;
+        for (unsigned s = 0; s < kShards; ++s)
+          if (involved[s]) prev_[s] = cur_[s];
+        for (const auto& b : batch) {
+          const unsigned s = workload::shard_of(b.key, kShards);
+          if (b.del)
+            cur_[s].erase(b.key);
+          else
+            cur_[s][b.key] = b.value;
+        }
+        store_->apply_batch(ctx, batch);
+      } else {
+        const std::string key = "key" + std::to_string(rng.uniform(kKeys));
+        const unsigned s = workload::shard_of(key, kShards);
+        prev_[s] = cur_[s];
+        if (rng.uniform(4) == 0 && cur_[s].count(key) != 0) {
+          cur_[s].erase(key);
+          store_->del(ctx, key);
+        } else {
+          const std::string val =
+              key + "#" + std::to_string(op) +
+              std::string(4 + rng.uniform(12),
+                          'a' + static_cast<char>(op % 26));
+          cur_[s][key] = val;
+          store_->put(ctx, key, val);
+        }
+      }
+      // Donate a compaction turn so crash points land inside deferred
+      // L0 merges too (a merge never changes the logical state).
+      if (op % 4 == 3) store_->background_turn(ctx);
+    }
+    store_->flush_pending(ctx);
+  }
+
+  std::string recover_and_check() override {
+    sim::ThreadCtx ctx = make_thread(5);
+    workload::ShardedStore store(ns_, shard_options());
+    if (!store.open(ctx)) return "sharded open() failed";
+    if (Status st = store.check(ctx); !st.ok()) return st.to_string();
+    std::map<std::string, std::string> got[kShards];
+    for (unsigned k = 0; k < kKeys; ++k) {
+      const std::string key = "key" + std::to_string(k);
+      std::string v;
+      if (store.get(ctx, key, &v))
+        got[workload::shard_of(key, kShards)][key] = v;
+    }
+    for (unsigned s = 0; s < kShards; ++s)
+      if (got[s] != prev_[s] && got[s] != cur_[s])
+        return "shard " + std::to_string(s) +
+               ": recovered state matches neither its pre-op nor its "
+               "post-op state (" +
+               std::to_string(got[s].size()) + " live keys)";
+    return "";
+  }
+
+ private:
+  static constexpr unsigned kShards = 2;
+  static constexpr unsigned kKeys = 8;
+  static constexpr unsigned kOps = 40;
+
+  workload::ShardOptions shard_options() const {
+    workload::ShardOptions so;
+    so.kind = workload::StoreKind::kLsmkv;
+    // Singles must be durable at return for the per-op pre/post model,
+    // so no group-commit buffering; batches still commit as one WAL
+    // group burst per shard (Db::put_batch groups unconditionally).
+    so.tuning.write_combine = false;
+    so.tuning.background_compaction = true;
+    so.tuning.memtable_bytes = 1 << 10;  // flush + merge under the run
+    so.writer_lanes = true;
+    return so;
+  }
+
+  std::unique_ptr<hw::Platform> platform_;
+  std::vector<hw::PmemNamespace*> ns_;
+  std::unique_ptr<workload::ShardedStore> store_;
+  std::map<std::string, std::string> prev_[kShards], cur_[kShards];
+};
+
 }  // namespace
 
 std::unique_ptr<Target> make_pmemlib_target(bool inject_commit_fault) {
@@ -738,6 +871,9 @@ std::unique_ptr<Target> make_novafs_target(bool log_checksum,
 }
 std::unique_ptr<Target> make_cmap_target() {
   return std::make_unique<CmapTarget>();
+}
+std::unique_ptr<Target> make_sharded_target() {
+  return std::make_unique<ShardedTarget>();
 }
 std::unique_ptr<Target> make_stree_target() {
   return std::make_unique<StreeTarget>();

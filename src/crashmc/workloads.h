@@ -53,6 +53,16 @@ std::unique_ptr<Target> make_novafs_target(bool log_checksum = false,
                                            bool batch_appends = false);
 std::unique_ptr<Target> make_cmap_target();
 std::unique_ptr<Target> make_stree_target();
+// Sharded frontend (workload::ShardedStore over per-DIMM lsmkv shards,
+// write-combining + deferred background compaction on): single-key ops,
+// cross-shard batched dispatch, and donated compaction turns. The
+// crash-atomic unit is one shard's slice of a dispatch (one WAL group
+// burst); the cross-shard batch as a whole is NOT atomic, so recovery
+// is checked shard by shard: each shard's recovered restriction must be
+// its own pre- or post-op state. Not part of all_targets() — the
+// five-family panel (and the fault campaign's loss semantics) stays
+// as it was.
+std::unique_ptr<Target> make_sharded_target();
 
 // The standard panel: pmemlib, lsmkv (FLEX WAL, per-record and group
 // commit), novafs (per-entry and batched log appends), cmap, stree.

@@ -62,6 +62,18 @@ struct DbOptions {
   // read_combine.
   std::size_t read_cache_lines = 0;
 
+  // ---- Background compaction (§5 under mixed traffic), off by default
+  // ---- so the inline-compaction put path and timing are unchanged ------
+  // When set, reaching l0_compaction_trigger only *schedules* the merge;
+  // it runs when some thread donates a turn via Db::background_work()
+  // (the workload engine runs one such thread per store). Writes keep
+  // flowing against the growing L0 while the debt is pending; if L0
+  // reaches l0_stall_trigger before a background turn arrives, the next
+  // write pays the merge inline — the classic write-stall admission gate,
+  // which also keeps the manifest's fixed L0 array from overflowing.
+  bool background_compaction = false;
+  unsigned l0_stall_trigger = 12;  // must stay < Db::kMaxL0
+
   // CPU-side costs (simulated time) for work that doesn't touch the
   // memory system model: DRAM-structure operations and syscalls.
   sim::Time cpu_memtable_op = sim::ns(250);
@@ -76,6 +88,10 @@ struct DbStats {
   std::uint64_t deletes = 0;
   std::uint64_t memtable_flushes = 0;
   std::uint64_t compactions = 0;
+  // Of `compactions`: how many ran on a donated background turn, and how
+  // many times a writer hit the stall gate and paid the merge inline.
+  std::uint64_t background_compactions = 0;
+  std::uint64_t write_stalls = 0;
   std::uint64_t wal_bytes = 0;
   std::uint64_t sst_bytes_written = 0;
 };

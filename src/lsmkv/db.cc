@@ -151,6 +151,10 @@ bool Db::open(sim::ThreadCtx& ctx) {
   // One-time residency load for the recovered table set (a flush during
   // WAL replay keeps it current through store_manifest/flush).
   init_read_path(ctx, m, /*load_tables=*/true);
+  // The deferred-compaction flag is volatile; re-derive the debt from the
+  // recovered manifest so a crash between schedule and merge is harmless.
+  compaction_pending_ =
+      opts_.background_compaction && m.n_l0 >= opts_.l0_compaction_trigger;
 
   memtable_.clear();
   pending_.clear();
@@ -426,6 +430,20 @@ void Db::maybe_flush(sim::ThreadCtx& ctx) {
                                   ? pskip_bytes_
                                   : memtable_.bytes();
   if (bytes >= opts_.memtable_bytes) flush(ctx);
+  // Write-stall admission gate: a writer that finds the deferred-
+  // compaction debt at the stall trigger pays the merge inline rather
+  // than letting L0 grow toward the manifest's fixed capacity.
+  if (compaction_pending_) {
+    const Manifest m = load_manifest(ctx);
+    // Clamp to the manifest's capacity so a misconfigured trigger can
+    // never let L0 overflow the fixed array.
+    const unsigned stall_at =
+        std::min<unsigned>(opts_.l0_stall_trigger, kMaxL0 - 1);
+    if (m.n_l0 >= stall_at) {
+      ++stats_.write_stalls;
+      background_work(ctx);
+    }
+  }
 }
 
 void Db::flush(sim::ThreadCtx& ctx) {
@@ -485,7 +503,22 @@ void Db::flush(sim::ThreadCtx& ctx) {
     pending_.clear();
   }
 
-  if (m.n_l0 >= opts_.l0_compaction_trigger) compact(ctx, m);
+  if (m.n_l0 >= opts_.l0_compaction_trigger) {
+    if (opts_.background_compaction)
+      compaction_pending_ = true;  // deferred to background_work()
+    else
+      compact(ctx, m);
+  }
+}
+
+bool Db::background_work(sim::ThreadCtx& ctx) {
+  if (!compaction_pending_) return false;
+  compaction_pending_ = false;
+  const Manifest m = load_manifest(ctx);
+  if (m.n_l0 == 0) return false;  // flushed away in the meantime
+  ++stats_.background_compactions;
+  compact(ctx, m);
+  return true;
 }
 
 void Db::compact(sim::ThreadCtx& ctx, Manifest m) {

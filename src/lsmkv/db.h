@@ -92,6 +92,13 @@ class Db {
   // Force a memtable flush (normally automatic at memtable_bytes).
   void flush(sim::ThreadCtx& ctx);
 
+  // One deferred-compaction turn (DbOptions::background_compaction): runs
+  // the scheduled merge if one is pending. Returns true if work was done.
+  // Safe to call from any simulated thread, but like every Db entry point
+  // it must be externally serialized against concurrent ops.
+  bool background_work(sim::ThreadCtx& ctx);
+  bool compaction_pending() const { return compaction_pending_; }
+
   // Recovery invariants (crashmc checker entry point). Call after open():
   // validates pool metadata, the manifest (modes, run counts, table refs
   // inside the allocated heap) and that every referenced SSTable passes
@@ -173,6 +180,10 @@ class Db {
   };
   std::vector<PendingRec> pending_;
   std::vector<std::uint8_t> sst_scratch_;  // reused SSTable build buffer
+  // A compaction scheduled by flush() but not yet run (only ever set with
+  // background_compaction on). Volatile by design: open() re-derives it
+  // from the recovered manifest.
+  bool compaction_pending_ = false;
 
   // ---- read-path state (all empty/null with the knobs off) ---------------
   std::optional<Manifest> manifest_cache_;  // DRAM mirror (sst_residency)

@@ -155,6 +155,11 @@ class NovaFs final : public FileSystem {
   std::size_t overlay_count(int ino) const;
   std::uint64_t cleanings() const { return cleanings_; }
 
+  // Directory listing (name -> inode, name order). The name index is
+  // DRAM state rebuilt by mount; exposing it read-only lets the workload
+  // layer's KV adapter implement ordered scans over file names.
+  const std::map<std::string, int>& names() const { return namei_; }
+
  private:
   // ---- persistent layout -------------------------------------------------
   struct Super {

@@ -13,6 +13,7 @@
 #include "pmemlib/pmem_ops.h"
 #include "pmemlib/pool.h"
 #include "sim/rng.h"
+#include "workload/shard.h"
 #include "xpsim/platform.h"
 
 namespace xp::schedmc {
@@ -764,6 +765,254 @@ class StreeTarget final : public Target {
   History history_;
 };
 
+// ------------------------------------------------------------- sharded --
+
+// workload::ShardedStore over two per-DIMM lsmkv shards with deferred
+// background compaction. Locking model: each shard instance is
+// single-threaded code, so it gets its own SchedLock; single-key ops
+// take the owning shard's lock, cross-shard batches take every involved
+// lock in ascending shard order (no deadlock by construction) and hold
+// them across the whole dispatch. One extra logical thread donates
+// background-compaction turns, shard lock held — reset() pre-populates
+// enough data that both shards start with compaction debt pending, so
+// exploration interleaves real L0 merges with foreground traffic.
+//
+// Durability: sync_every_op is on and write-combining is off, so a
+// single put/del is durable when it returns, and a per-shard batch
+// group (Db::put_batch, one WAL group burst) is durable — atomically —
+// when the dispatch returns. History groups mirror exactly that unit:
+// one group id per (batch, shard), never one spanning shards.
+class ShardedTarget final : public Target {
+ public:
+  explicit ShardedTarget(const TargetOptions& o) : opts_(o) {}
+
+  const char* name() const override { return "sharded-lsmkv"; }
+
+  void reset() override {
+    platform_ = std::make_unique<hw::Platform>();
+    ns_ = workload::ShardedStore::make_namespaces(*platform_, kShards,
+                                                  16ull << 20);
+    store_ = std::make_unique<workload::ShardedStore>(ns_, shard_options());
+    sim::ThreadCtx ctx = service_ctx();
+    store_->create(ctx);
+    // Pre-populate until every shard has scheduled (not run) a merge:
+    // the explorer then interleaves the donated compaction turns with
+    // live traffic instead of exploring an empty background thread.
+    filler_.clear();
+    for (unsigned i = 0; i < kFillers; ++i) {
+      const std::string k = "f" + std::to_string(i);
+      const std::string v(400, 'a' + static_cast<char>(i % 26));
+      store_->put(ctx, k, v);
+      filler_[k] = v;
+    }
+    platform_->reset_timing();
+    history_.clear();
+    next_group_ = 1;
+  }
+
+  hw::Platform& platform() override { return *platform_; }
+  History& history() override { return history_; }
+
+  std::vector<ThreadSpec> specs() override {
+    std::vector<ThreadSpec> v;
+    for (unsigned t = 0; t < opts_.threads; ++t)
+      v.push_back({worker_opts(opts_, t),
+                   [this, t](sim::ThreadCtx& ctx) { body(ctx, t); }});
+    // The background-compaction donor: walks the shards a few times,
+    // paying one deferred merge per turn under that shard's lock.
+    v.push_back({worker_opts(opts_, opts_.threads),
+                 [this](sim::ThreadCtx& ctx) {
+                   for (unsigned round = 0; round < 3; ++round)
+                     for (unsigned s = 0; s < kShards; ++s) {
+                       ctx.sched_point(sim::SchedPoint::kOpBegin);
+                       SchedLockGuard g(locks_[s], ctx);
+                       store_->shard(s).background_turn(ctx);
+                     }
+                 }});
+    return v;
+  }
+
+  std::map<std::string, std::string> live_state() override {
+    sim::ThreadCtx ctx = service_ctx();
+    return read_all(*store_, ctx);
+  }
+
+  bool recover(std::map<std::string, std::string>* out,
+               std::string* error) override {
+    sim::ThreadCtx ctx = service_ctx(33);
+    workload::ShardedStore store(ns_, shard_options());
+    if (!store.open(ctx)) {
+      *error = "sharded open() failed";
+      return false;
+    }
+    if (Status st = store.check(ctx); !st.ok()) {
+      *error = st.to_string();
+      return false;
+    }
+    *out = read_all(store, ctx);
+    return true;
+  }
+
+  std::map<std::string, std::string> initial_state() override {
+    return filler_;
+  }
+
+ private:
+  static constexpr unsigned kShards = 2;
+  static constexpr unsigned kKeys = 6;
+  // 48 x 400 B spread over two 2 KB-memtable shards: ~9 flushes per
+  // shard, past the default l0_compaction_trigger, so both shards carry
+  // pending debt when the run starts.
+  static constexpr unsigned kFillers = 48;
+
+  static std::string key(unsigned i) { return "k" + std::to_string(i); }
+
+  workload::ShardOptions shard_options() const {
+    workload::ShardOptions so;
+    so.kind = workload::StoreKind::kLsmkv;
+    so.tuning.memtable_bytes = 2 << 10;
+    so.tuning.background_compaction = true;
+    so.writer_lanes = true;
+    return so;
+  }
+
+  std::map<std::string, std::string> read_all(workload::ShardedStore& s,
+                                              sim::ThreadCtx& ctx) {
+    std::map<std::string, std::string> out;
+    auto probe = [&](const std::string& k) {
+      std::string v;
+      if (s.get(ctx, k, &v)) out[k] = v;
+    };
+    for (unsigned i = 0; i < kKeys; ++i) probe(key(i));
+    probe("ctr");
+    for (const auto& [k, v] : filler_) probe(k);
+    return out;
+  }
+
+  void body(sim::ThreadCtx& ctx, unsigned t) {
+    sim::Rng rng = body_rng(opts_, t);
+    for (unsigned op = 0; op < opts_.ops_per_thread; ++op) {
+      const unsigned r = static_cast<unsigned>(rng.uniform(10));
+      const std::string k = key(static_cast<unsigned>(rng.uniform(kKeys)));
+      const unsigned s = workload::shard_of(k, kShards);
+      ctx.sched_point(sim::SchedPoint::kOpBegin);
+      if (r < 3) {
+        const std::string val =
+            "v" + std::to_string(t) + "_" + std::to_string(op);
+        SchedLockGuard g(locks_[s], ctx);
+        const std::size_t id = history_.invoke(t, OpKind::kPut, k, val);
+        history_.stage_write(id);
+        store_->put(ctx, k, val);
+        history_.respond(id);
+        history_.mark_must_include(id);
+      } else if (r < 5) {
+        SchedLockGuard g(locks_[s], ctx);
+        const std::size_t id = history_.invoke(t, OpKind::kGet, k);
+        std::string v;
+        const bool found = store_->get(ctx, k, &v);
+        history_.respond(id, found, v);
+        history_.mark_must_include(id);
+      } else if (r < 6) {
+        SchedLockGuard g(locks_[s], ctx);
+        const std::size_t id = history_.invoke(t, OpKind::kDel, k);
+        history_.stage_write(id);
+        store_->del(ctx, k);
+        history_.respond(id);  // lsmkv dels are blind; no found to check
+        history_.mark_must_include(id);
+      } else if (r < 8) {
+        batch(ctx, t, op, rng);
+      } else {
+        bump_counter(ctx, t);
+      }
+    }
+  }
+
+  // Cross-shard batched dispatch: 2-3 keys, locks taken in ascending
+  // shard order and held across the dispatch; ShardedStore::apply_batch
+  // commits one WAL group per involved shard, so each shard's slice of
+  // the history shares one group id and distinct shards never do.
+  void batch(sim::ThreadCtx& ctx, unsigned t, unsigned op, sim::Rng& rng) {
+    const unsigned n = 2 + static_cast<unsigned>(rng.uniform(2));
+    std::vector<workload::BatchOp> ops;
+    for (unsigned i = 0; i < n; ++i) {
+      workload::BatchOp b;
+      b.key = key(static_cast<unsigned>(rng.uniform(kKeys)));
+      b.del = rng.uniform(5) == 0;
+      if (!b.del)
+        b.value = "b" + std::to_string(t) + "_" + std::to_string(op) + "_" +
+                  std::to_string(i);
+      ops.push_back(std::move(b));
+    }
+    bool involved[kShards] = {};
+    for (const auto& b : ops) involved[workload::shard_of(b.key, kShards)] = true;
+    for (unsigned s = 0; s < kShards; ++s)
+      if (involved[s]) locks_[s].lock(ctx);
+    std::uint64_t group_of[kShards];
+    for (unsigned s = 0; s < kShards; ++s)
+      if (involved[s]) group_of[s] = next_group_++;
+    std::vector<std::size_t> ids;
+    for (const auto& b : ops) {
+      const std::size_t id = history_.invoke(
+          t, b.del ? OpKind::kDel : OpKind::kPut, b.key, b.value);
+      history_.stage_write(id);
+      history_.set_group(id, group_of[workload::shard_of(b.key, kShards)]);
+      ids.push_back(id);
+    }
+    store_->apply_batch(ctx, ops);
+    for (const std::size_t id : ids) {
+      history_.respond(id);
+      history_.mark_must_include(id);
+    }
+    for (unsigned s = kShards; s-- > 0;)
+      if (involved[s]) locks_[s].unlock(ctx);
+  }
+
+  // Counter RMW under the counter's owning shard lock — or, with the
+  // fault armed, split into two critical sections (the lost update the
+  // oracle must catch, now through the sharded frontend).
+  void bump_counter(sim::ThreadCtx& ctx, unsigned t) {
+    const unsigned s = workload::shard_of("ctr", kShards);
+    const std::size_t id = history_.invoke(t, OpKind::kRmw, "ctr");
+    if (elide(opts_)) {
+      bool found;
+      std::string v;
+      {
+        SchedLockGuard g(locks_[s], ctx);
+        found = store_->get(ctx, "ctr", &v);
+      }
+      ctx.sched_point(sim::SchedPoint::kHandoff);
+      const std::string nv = next_value(found, v);
+      history_.stage_write(id, found, found ? v : std::string(), nv);
+      SchedLockGuard g(locks_[s], ctx);
+      store_->put(ctx, "ctr", nv);
+      history_.respond(id, found, found ? v : std::string());
+      history_.mark_must_include(id);
+    } else {
+      SchedLockGuard g(locks_[s], ctx);
+      std::string v;
+      const bool found = store_->get(ctx, "ctr", &v);
+      const std::string nv = next_value(found, v);
+      history_.stage_write(id, found, found ? v : std::string(), nv);
+      store_->put(ctx, "ctr", nv);
+      history_.respond(id, found, found ? v : std::string());
+      history_.mark_must_include(id);
+    }
+  }
+
+  static std::string next_value(bool found, const std::string& v) {
+    return std::to_string((found ? std::stoll(v) : 0) + 1);
+  }
+
+  TargetOptions opts_;
+  std::unique_ptr<hw::Platform> platform_;
+  std::vector<hw::PmemNamespace*> ns_;
+  std::unique_ptr<workload::ShardedStore> store_;
+  SchedLock locks_[kShards];
+  std::map<std::string, std::string> filler_;
+  std::uint64_t next_group_ = 1;
+  History history_;
+};
+
 }  // namespace
 
 std::unique_ptr<Target> make_pmemlib_target(const TargetOptions& opts) {
@@ -780,6 +1029,9 @@ std::unique_ptr<Target> make_cmap_target(const TargetOptions& opts) {
 }
 std::unique_ptr<Target> make_stree_target(const TargetOptions& opts) {
   return std::make_unique<StreeTarget>(opts);
+}
+std::unique_ptr<Target> make_sharded_target(const TargetOptions& opts) {
+  return std::make_unique<ShardedTarget>(opts);
 }
 
 std::vector<std::unique_ptr<Target>> all_targets(const TargetOptions& opts) {

@@ -63,6 +63,18 @@ std::unique_ptr<Target> make_cmap_target(const TargetOptions& opts = {});
 // pmemkv stree: put/get/remove over enough keys to split leaves.
 std::unique_ptr<Target> make_stree_target(const TargetOptions& opts = {});
 
+// Sharded frontend (workload::ShardedStore over per-DIMM lsmkv shards,
+// deferred background compaction on): puts/gets/deletes under per-shard
+// locks, cross-shard batched dispatch holding the involved shard locks
+// in ascending order (each shard's group is one crash-atomic WAL burst,
+// the cross-shard batch as a whole is not), a counter RMW under its
+// owning shard's lock, plus one extra thread donating background-
+// compaction turns shard by shard. reset() pre-populates enough data to
+// leave compaction debt pending, so exploration interleaves real merges
+// with foreground traffic. Not part of all_targets(): the five-family
+// panels (and their sweep baselines) stay as they were.
+std::unique_ptr<Target> make_sharded_target(const TargetOptions& opts = {});
+
 // All five, in the order above.
 std::vector<std::unique_ptr<Target>> all_targets(const TargetOptions& opts = {});
 

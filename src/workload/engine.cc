@@ -1,0 +1,184 @@
+#include "workload/engine.h"
+
+#include <vector>
+
+namespace xp::workload {
+
+namespace {
+
+struct PerThread {
+  explicit PerThread(const Spec& spec, unsigned t, std::uint64_t base)
+      : rng(mix64(spec.seed * 0x9e3779b97f4a7c15ULL + base) + t + 1),
+        zipf(spec.records, spec.zipf_theta) {}
+
+  XorShift rng;
+  Zipfian zipf;
+  std::uint64_t remaining = 0;
+  std::uint64_t seq = 0;  // ops issued by this thread
+  std::uint64_t checksum = 0;
+  std::vector<BatchOp> batch;
+  sim::Histogram hist;
+};
+
+}  // namespace
+
+void load(StoreIface& store, const Spec& spec, sim::ThreadCtx& ctx) {
+  for (std::uint64_t id = 0; id < spec.records; ++id)
+    store.put(ctx, key_name(id), make_value(id, 0, spec.value_len));
+  store.flush_pending(ctx);
+}
+
+Result run(StoreIface& store, const Spec& spec, const EngineOptions& opts) {
+  const unsigned T = opts.threads ? opts.threads : 1;
+  std::vector<PerThread> per;
+  per.reserve(T);
+  for (unsigned t = 0; t < T; ++t) {
+    per.emplace_back(spec, t, opts.base_seed);
+    per[t].remaining = spec.ops / T + (t < spec.ops % T ? 1 : 0);
+  }
+
+  // Shared across workers; mutation order is fixed by the deterministic
+  // scheduler, so these do not break reproducibility.
+  std::uint64_t live_records = spec.records;  // preloaded + inserted
+  unsigned done_workers = 0;
+
+  Result res;
+  sim::Scheduler sched;
+  std::vector<const sim::ThreadCtx*> worker_ctx;
+
+  auto key_id = [&](PerThread& pt) -> std::uint64_t {
+    switch (spec.dist) {
+      case Spec::Dist::kUniform:
+        return pt.rng.uniform(spec.records);
+      case Spec::Dist::kLatest: {
+        pt.zipf.grow(live_records);
+        const std::uint64_t rank = pt.zipf.next(pt.rng);
+        return live_records - 1 - rank;
+      }
+      case Spec::Dist::kZipfian:
+      default:
+        return scramble(pt.zipf.next(pt.rng), spec.records);
+    }
+  };
+
+  for (unsigned t = 0; t < T; ++t) {
+    sim::ThreadCtx::Options topts;
+    topts.id = t + 1;
+    topts.socket = opts.socket;
+    topts.seed = spec.seed + t + 1;
+    auto& ctx_ref = sched.spawn(topts, [&, t](sim::ThreadCtx& ctx) -> bool {
+      PerThread& pt = per[t];
+      ctx.sched_point(sim::SchedPoint::kOpBegin);
+      const sim::Time t0 = ctx.now();
+      const OpKind op = pick_op(spec, pt.rng);
+      std::uint64_t h = mix64((std::uint64_t{t} << 32) | pt.seq);
+
+      auto write = [&](std::uint64_t id, bool is_insert) {
+        const std::string key = key_name(id);
+        std::string value = make_value(id, pt.seq + 1, spec.value_len);
+        if (opts.dispatch_batch > 0) {
+          pt.batch.push_back({key, std::move(value), false});
+          if (pt.batch.size() >= opts.dispatch_batch) {
+            store.apply_batch(ctx, pt.batch);
+            pt.batch.clear();
+          }
+        } else {
+          store.put(ctx, key, value);
+        }
+        if (is_insert) ++res.inserts; else ++res.updates;
+        h = mix64(h ^ id);
+      };
+
+      switch (op) {
+        case OpKind::kRead: {
+          const std::uint64_t id = key_id(pt);
+          std::string v;
+          const bool hit = store.get(ctx, key_name(id), &v);
+          ++res.reads;
+          if (hit) ++res.read_hits;
+          h = mix64(h ^ (hit ? fnv1a64(v) : 0xdead));
+          break;
+        }
+        case OpKind::kUpdate:
+          write(key_id(pt), /*is_insert=*/false);
+          break;
+        case OpKind::kInsert:
+          write(live_records++, /*is_insert=*/true);
+          break;
+        case OpKind::kScan: {
+          const std::uint64_t id = key_id(pt);
+          const std::size_t n = 1 + pt.rng.uniform(spec.scan_len);
+          ++res.scans;
+          if (store.supports_scan()) {
+            const auto rows = store.scan(ctx, key_name(id), n);
+            res.scanned_items += rows.size();
+            for (const auto& [k, v] : rows)
+              h = mix64(h ^ fnv1a64(k) ^ fnv1a64(v));
+          } else {
+            // Hash-ordered store: degrade to a point read.
+            std::string v;
+            const bool hit = store.get(ctx, key_name(id), &v);
+            h = mix64(h ^ (hit ? fnv1a64(v) : 0xdead));
+          }
+          break;
+        }
+        case OpKind::kRmw: {
+          const std::uint64_t id = key_id(pt);
+          std::string v;
+          const bool hit = store.get(ctx, key_name(id), &v);
+          h = mix64(h ^ (hit ? fnv1a64(v) : 0xdead));
+          store.put(ctx, key_name(id), make_value(id, pt.seq + 1,
+                                                  spec.value_len));
+          ++res.rmws;
+          break;
+        }
+      }
+
+      ++res.ops;
+      ++pt.seq;
+      pt.hist.record(ctx.now() - t0);
+      pt.checksum ^= h;
+      if (--pt.remaining == 0) {
+        if (!pt.batch.empty()) {
+          store.apply_batch(ctx, pt.batch);
+          pt.batch.clear();
+        }
+        // The last worker out drains any cross-thread group buffer so
+        // every acknowledged op is durable when run() returns.
+        if (++done_workers == T) store.flush_pending(ctx);
+        return false;
+      }
+      return true;
+    });
+    worker_ctx.push_back(&ctx_ref);
+  }
+
+  if (opts.background_thread) {
+    sim::ThreadCtx::Options topts;
+    topts.id = T + 1;
+    topts.socket = opts.socket;
+    topts.seed = spec.seed + T + 1;
+    sched.spawn(topts, [&](sim::ThreadCtx& ctx) -> bool {
+      if (done_workers == T) return false;
+      if (store.background_turn(ctx))
+        ++res.background_turns;
+      else
+        ctx.advance_by(opts.background_poll);  // idle poll
+      return true;
+    });
+  }
+
+  sched.run();
+
+  sim::Histogram hist;
+  for (unsigned t = 0; t < T; ++t) {
+    hist.merge(per[t].hist);
+    res.checksum ^= mix64(per[t].checksum + t + 1);
+    if (worker_ctx[t]->now() > res.elapsed) res.elapsed = worker_ctx[t]->now();
+  }
+  res.p50 = hist.percentile(0.50);
+  res.p99 = hist.percentile(0.99);
+  return res;
+}
+
+}  // namespace xp::workload

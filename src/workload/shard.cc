@@ -1,0 +1,113 @@
+#include "workload/shard.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xp::workload {
+
+std::vector<hw::PmemNamespace*> ShardedStore::make_namespaces(
+    hw::Platform& platform, unsigned shards, std::uint64_t bytes_per_shard,
+    unsigned socket) {
+  std::vector<hw::PmemNamespace*> out;
+  out.reserve(shards);
+  const unsigned channels = platform.timing().channels_per_socket;
+  for (unsigned i = 0; i < shards; ++i)
+    out.push_back(
+        &platform.optane_ni(bytes_per_shard, socket, i % channels));
+  return out;
+}
+
+ShardedStore::ShardedStore(std::span<hw::PmemNamespace* const> shard_ns,
+                           const ShardOptions& opts)
+    : opts_(opts) {
+  assert(!shard_ns.empty());
+  shards_.reserve(shard_ns.size());
+  for (hw::PmemNamespace* ns : shard_ns)
+    shards_.push_back(make_store(opts_.kind, *ns, opts_.tuning));
+  name_ = std::string("sharded-") + store_kind_name(opts_.kind);
+}
+
+void ShardedStore::create(sim::ThreadCtx& ctx) {
+  for (auto& s : shards_) s->create(ctx);
+}
+
+bool ShardedStore::open(sim::ThreadCtx& ctx) {
+  bool ok = true;
+  for (auto& s : shards_) ok = s->open(ctx) && ok;
+  return ok;
+}
+
+void ShardedStore::put(sim::ThreadCtx& ctx, std::string_view key,
+                       std::string_view value) {
+  const unsigned s = shard_of(key, shards());
+  LaneGuard lane(ctx, opts_.writer_lanes, s);
+  shards_[s]->put(ctx, key, value);
+}
+
+bool ShardedStore::get(sim::ThreadCtx& ctx, std::string_view key,
+                       std::string* value) {
+  return shards_[shard_of(key, shards())]->get(ctx, key, value);
+}
+
+bool ShardedStore::del(sim::ThreadCtx& ctx, std::string_view key) {
+  const unsigned s = shard_of(key, shards());
+  LaneGuard lane(ctx, opts_.writer_lanes, s);
+  return shards_[s]->del(ctx, key);
+}
+
+std::vector<std::pair<std::string, std::string>> ShardedStore::scan(
+    sim::ThreadCtx& ctx, std::string_view start, std::size_t n) {
+  // Each shard returns its n smallest keys >= start; merging and
+  // truncating yields the global n smallest.
+  std::vector<std::pair<std::string, std::string>> merged;
+  for (auto& s : shards_) {
+    auto part = s->scan(ctx, start, n);
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (merged.size() > n) merged.resize(n);
+  return merged;
+}
+
+void ShardedStore::apply_batch(sim::ThreadCtx& ctx,
+                               std::span<const BatchOp> ops) {
+  std::vector<std::vector<BatchOp>> groups(shards());
+  for (const BatchOp& op : ops)
+    groups[shard_of(op.key, shards())].push_back(op);
+  for (unsigned s = 0; s < shards(); ++s) {
+    if (groups[s].empty()) continue;
+    LaneGuard lane(ctx, opts_.writer_lanes, s);
+    shards_[s]->apply_batch(ctx, groups[s]);
+  }
+}
+
+void ShardedStore::flush_pending(sim::ThreadCtx& ctx) {
+  for (unsigned s = 0; s < shards(); ++s) {
+    LaneGuard lane(ctx, opts_.writer_lanes, s);
+    shards_[s]->flush_pending(ctx);
+  }
+}
+
+bool ShardedStore::background_turn(sim::ThreadCtx& ctx) {
+  for (unsigned i = 0; i < shards(); ++i) {
+    const unsigned s = (rr_ + i) % shards();
+    LaneGuard lane(ctx, opts_.writer_lanes, s);
+    if (shards_[s]->background_turn(ctx)) {
+      rr_ = (s + 1) % shards();
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ShardedStore::check(sim::ThreadCtx& ctx) {
+  for (auto& s : shards_) {
+    Status st = s->check(ctx);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace xp::workload

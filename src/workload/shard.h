@@ -1,0 +1,114 @@
+// Sharded concurrent frontend: a hash-partitioned router mapping N
+// logical shards onto per-DIMM store instances.
+//
+// Why sharding helps on this hardware (paper §5.3 + §5.4): one XP DIMM
+// tracks only 4 write streams and its XPBuffer thrashes under many
+// interleaved writers, so a single interleaved store serializes mixed
+// traffic on the device. Placing each shard on its *own* non-interleaved
+// DIMM (Platform::optane_ni, round-robin over the socket's channels)
+// gives every shard a private XPBuffer and stream tracker, and the
+// per-shard writer lane (ThreadCtx::set_write_stream) makes all threads
+// routed to a shard look like one writer to that DIMM.
+//
+// ShardedStore is itself a StoreIface, so the workload engine, the
+// differential oracle and the schedmc/crashmc targets drive it exactly
+// like a single store. Cross-shard batched dispatch (apply_batch)
+// partitions a batch by the router and commits each shard's group as
+// one burst through the store's write-combining path (LineBatcher);
+// each per-shard group is crash-atomic, the cross-shard batch as a
+// whole is not — exactly the window the crashmc target explores.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/store_iface.h"
+#include "workload/ycsb.h"
+
+namespace xp::workload {
+
+// FNV-1a router: stable across runs and shard-thread counts, so the
+// partition of a keyspace is a pure function of (key, nshards).
+inline unsigned shard_of(std::string_view key, unsigned nshards) {
+  return nshards <= 1
+             ? 0
+             : static_cast<unsigned>(fnv1a64(key) % nshards);
+}
+
+struct ShardOptions {
+  StoreKind kind = StoreKind::kLsmkv;
+  StoreTuning tuning{};
+  // Present each shard's stores to its DIMM under one per-shard lane id
+  // instead of the issuing thread's id (§5.3).
+  bool writer_lanes = true;
+};
+
+class ShardedStore final : public StoreIface {
+ public:
+  // One non-interleaved per-DIMM namespace per shard, round-robin over
+  // the socket's channels.
+  static std::vector<hw::PmemNamespace*> make_namespaces(
+      hw::Platform& platform, unsigned shards, std::uint64_t bytes_per_shard,
+      unsigned socket = 0);
+
+  // Builds one store instance per namespace. The namespaces outlive the
+  // frontend (the Platform owns them), so a second ShardedStore over
+  // the same span is how recovery-after-crash reattaches.
+  ShardedStore(std::span<hw::PmemNamespace* const> shard_ns,
+               const ShardOptions& opts);
+
+  const char* name() const override { return name_.c_str(); }
+  StoreKind kind() const override { return opts_.kind; }
+  void create(sim::ThreadCtx& ctx) override;
+  bool open(sim::ThreadCtx& ctx) override;
+  void put(sim::ThreadCtx& ctx, std::string_view key,
+           std::string_view value) override;
+  bool get(sim::ThreadCtx& ctx, std::string_view key,
+           std::string* value) override;
+  bool del(sim::ThreadCtx& ctx, std::string_view key) override;
+  bool del_reports_found() const override {
+    return shards_[0]->del_reports_found();
+  }
+  bool supports_scan() const override { return shards_[0]->supports_scan(); }
+  // Merges the per-shard ordered scans into one global key order.
+  std::vector<std::pair<std::string, std::string>> scan(
+      sim::ThreadCtx& ctx, std::string_view start, std::size_t n) override;
+  // Batched cross-shard dispatch: partition by router (preserving each
+  // shard's op order), then commit shard groups in shard order.
+  void apply_batch(sim::ThreadCtx& ctx,
+                   std::span<const BatchOp> ops) override;
+  void flush_pending(sim::ThreadCtx& ctx) override;
+  // Round-robin one deferred-compaction turn over the shards.
+  bool background_turn(sim::ThreadCtx& ctx) override;
+  Status check(sim::ThreadCtx& ctx) override;
+
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+  StoreIface& shard(unsigned i) { return *shards_[i]; }
+
+ private:
+  // Writer-lane scope: while alive, the thread's stores carry the
+  // shard's lane id, so the DIMM sees one stream per shard.
+  class LaneGuard {
+   public:
+    LaneGuard(sim::ThreadCtx& ctx, bool on, unsigned shard) : ctx_(ctx),
+                                                              on_(on) {
+      if (on_) ctx_.set_write_stream(kLaneBase + shard);
+    }
+    ~LaneGuard() {
+      if (on_) ctx_.clear_write_stream();
+    }
+
+   private:
+    static constexpr unsigned kLaneBase = 0x5a00;
+    sim::ThreadCtx& ctx_;
+    bool on_;
+  };
+
+  ShardOptions opts_;
+  std::vector<std::unique_ptr<StoreIface>> shards_;
+  std::string name_;
+  unsigned rr_ = 0;  // next shard offered a background turn
+};
+
+}  // namespace xp::workload

@@ -1,0 +1,106 @@
+// Uniform KV adapter over the four store families, so one workload
+// engine (workload/engine.h), one sharded frontend (workload/shard.h)
+// and one differential oracle (tests/differential_test.cc) can drive
+// any of them interchangeably.
+//
+// Adapters are thin: each owns its store (and pool, where the store
+// needs one) over a caller-provided PmemNamespace, translates the
+// paper-rule tuning knobs (StoreTuning) into the store's own options,
+// and leaves the store's timing untouched — driving a store through its
+// adapter is telemetry-identical to driving it directly (asserted by
+// tests/workload_test.cc).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/status.h"
+#include "xpsim/platform.h"
+
+namespace xp::workload {
+
+enum class StoreKind : unsigned char { kLsmkv, kCmap, kStree, kNova };
+const char* store_kind_name(StoreKind k);
+
+// The §5 fast-path knobs, mapped per family by make_store. All default
+// off: a default-tuned adapter drives the stock store byte-for-byte.
+struct StoreTuning {
+  // §5.1/§5.2 write combining: lsmkv WAL group commit / novafs batched
+  // log appends. No-op for cmap/stree (their writes are line-local).
+  bool write_combine = false;
+  std::size_t wal_group_size = 8;
+  // §5.1 read path: DRAM residency + line-granular read combining + a
+  // DRAM read cache of `read_cache_lines` 256 B lines.
+  bool read_path = false;
+  std::size_t read_cache_lines = 2048;
+  // Deferred compaction with a write-stall admission gate (lsmkv only).
+  bool background_compaction = false;
+  // §5.3 writer-lane cap (cmap only; the sharded frontend handles lane
+  // identity for the other families).
+  unsigned writers_per_dimm = 0;
+  // lsmkv memtable flush threshold: small enough that mixed workloads
+  // actually exercise flush + compaction, unlike the 4 MiB default.
+  std::size_t memtable_bytes = 64 << 10;
+};
+
+// One element of a batched dispatch (shard.h groups these per shard and
+// lsmkv commits each group as one crash-atomic WAL burst).
+struct BatchOp {
+  std::string key;
+  std::string value;
+  bool del = false;
+};
+
+class StoreIface {
+ public:
+  virtual ~StoreIface() = default;
+
+  virtual const char* name() const = 0;
+  virtual StoreKind kind() const = 0;
+
+  virtual void create(sim::ThreadCtx& ctx) = 0;
+  virtual bool open(sim::ThreadCtx& ctx) = 0;
+
+  virtual void put(sim::ThreadCtx& ctx, std::string_view key,
+                   std::string_view value) = 0;
+  virtual bool get(sim::ThreadCtx& ctx, std::string_view key,
+                   std::string* value) = 0;
+  // Returns whether the key existed — but only where the store reports
+  // it (del_reports_found); lsmkv tombstones blindly and returns true.
+  virtual bool del(sim::ThreadCtx& ctx, std::string_view key) = 0;
+  virtual bool del_reports_found() const { return true; }
+
+  // Ordered range scan; cmap is hash-ordered and reports no scan
+  // support (the engine degrades scans to point reads there).
+  virtual bool supports_scan() const { return true; }
+  virtual std::vector<std::pair<std::string, std::string>> scan(
+      sim::ThreadCtx& ctx, std::string_view start, std::size_t n) = 0;
+
+  // Apply a batch of mutations. Default: one call per op, then
+  // flush_pending. lsmkv overrides this with Db::put_batch (one
+  // crash-atomic group-committed WAL burst).
+  virtual void apply_batch(sim::ThreadCtx& ctx,
+                           std::span<const BatchOp> ops);
+
+  // Durability barrier for buffered group commits (no-op elsewhere).
+  virtual void flush_pending(sim::ThreadCtx& ctx) { (void)ctx; }
+
+  // Donate one background turn (deferred lsmkv compaction). Returns
+  // true if the turn did work.
+  virtual bool background_turn(sim::ThreadCtx& ctx) {
+    (void)ctx;
+    return false;
+  }
+
+  virtual Status check(sim::ThreadCtx& ctx) = 0;
+};
+
+std::unique_ptr<StoreIface> make_store(StoreKind kind, hw::PmemNamespace& ns,
+                                       const StoreTuning& tuning = {});
+
+}  // namespace xp::workload

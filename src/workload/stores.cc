@@ -1,0 +1,266 @@
+// StoreIface adapters for the four store families. Each translates the
+// shared StoreTuning knobs into the store's own options and forwards
+// ops 1:1, adding no simulated time of its own.
+#include "workload/store_iface.h"
+
+#include <cassert>
+
+#include "lsmkv/db.h"
+#include "novafs/novafs.h"
+#include "pmemkv/cmap.h"
+#include "pmemkv/stree.h"
+#include "pmemlib/pool.h"
+
+namespace xp::workload {
+
+const char* store_kind_name(StoreKind k) {
+  switch (k) {
+    case StoreKind::kLsmkv: return "lsmkv";
+    case StoreKind::kCmap: return "cmap";
+    case StoreKind::kStree: return "stree";
+    case StoreKind::kNova: return "nova";
+  }
+  return "?";
+}
+
+void StoreIface::apply_batch(sim::ThreadCtx& ctx,
+                             std::span<const BatchOp> ops) {
+  for (const BatchOp& op : ops) {
+    if (op.del)
+      del(ctx, op.key);
+    else
+      put(ctx, op.key, op.value);
+  }
+  flush_pending(ctx);
+}
+
+namespace {
+
+class LsmkvStore final : public StoreIface {
+ public:
+  LsmkvStore(hw::PmemNamespace& ns, const StoreTuning& t)
+      : db_(ns, make_opts(t)) {}
+
+  static kv::DbOptions make_opts(const StoreTuning& t) {
+    kv::DbOptions o;
+    // Shard namespaces are tens of MiB, not the 256 MiB single-store
+    // benches use; a WAL a few times the memtable is plenty (it is
+    // truncated at every flush).
+    o.wal_capacity = 4 << 20;
+    o.memtable_bytes = t.memtable_bytes;
+    o.wal_group_commit = t.write_combine;
+    o.wal_group_size = t.wal_group_size;
+    o.sst_residency = t.read_path;
+    o.read_combine = t.read_path;
+    o.read_cache_lines = t.read_path ? t.read_cache_lines : 0;
+    o.background_compaction = t.background_compaction;
+    return o;
+  }
+
+  const char* name() const override { return "lsmkv"; }
+  StoreKind kind() const override { return StoreKind::kLsmkv; }
+  void create(sim::ThreadCtx& ctx) override { db_.create(ctx); }
+  bool open(sim::ThreadCtx& ctx) override { return db_.open(ctx); }
+  void put(sim::ThreadCtx& ctx, std::string_view k,
+           std::string_view v) override {
+    db_.put(ctx, k, v);
+  }
+  bool get(sim::ThreadCtx& ctx, std::string_view k,
+           std::string* v) override {
+    return db_.get(ctx, k, v);
+  }
+  bool del(sim::ThreadCtx& ctx, std::string_view k) override {
+    db_.del(ctx, k);  // blind tombstone: existence is not reported
+    return true;
+  }
+  bool del_reports_found() const override { return false; }
+  std::vector<std::pair<std::string, std::string>> scan(
+      sim::ThreadCtx& ctx, std::string_view start, std::size_t n) override {
+    return db_.scan(ctx, start, n);
+  }
+  void apply_batch(sim::ThreadCtx& ctx,
+                   std::span<const BatchOp> ops) override {
+    std::vector<kv::WalRecord> recs;
+    recs.reserve(ops.size());
+    for (const BatchOp& op : ops) recs.push_back({op.key, op.value, op.del});
+    db_.put_batch(ctx, recs);
+  }
+  void flush_pending(sim::ThreadCtx& ctx) override { db_.commit_pending(ctx); }
+  bool background_turn(sim::ThreadCtx& ctx) override {
+    return db_.background_work(ctx);
+  }
+  Status check(sim::ThreadCtx& ctx) override { return db_.check(ctx); }
+
+ private:
+  kv::Db db_;
+};
+
+class CMapStore final : public StoreIface {
+ public:
+  CMapStore(hw::PmemNamespace& ns, const StoreTuning& t)
+      : pool_(ns), map_(pool_, make_opts(t)) {}
+
+  static pmemkv::CMapOptions make_opts(const StoreTuning& t) {
+    pmemkv::CMapOptions o;
+    o.max_writers_per_dimm = t.writers_per_dimm;
+    o.read_combine = t.read_path;
+    o.read_cache_lines = t.read_path ? t.read_cache_lines : 0;
+    return o;
+  }
+
+  const char* name() const override { return "cmap"; }
+  StoreKind kind() const override { return StoreKind::kCmap; }
+  void create(sim::ThreadCtx& ctx) override {
+    pool_.create(ctx, 64);
+    map_.create(ctx);
+  }
+  bool open(sim::ThreadCtx& ctx) override {
+    if (!pool_.open(ctx)) return false;
+    map_.open(ctx);
+    return true;
+  }
+  void put(sim::ThreadCtx& ctx, std::string_view k,
+           std::string_view v) override {
+    map_.put(ctx, k, v);
+  }
+  bool get(sim::ThreadCtx& ctx, std::string_view k,
+           std::string* v) override {
+    return map_.get(ctx, k, v);
+  }
+  bool del(sim::ThreadCtx& ctx, std::string_view k) override {
+    return map_.remove(ctx, k);
+  }
+  bool supports_scan() const override { return false; }  // hash-ordered
+  std::vector<std::pair<std::string, std::string>> scan(
+      sim::ThreadCtx&, std::string_view, std::size_t) override {
+    return {};
+  }
+  Status check(sim::ThreadCtx& ctx) override { return map_.check(ctx); }
+
+ private:
+  pmem::Pool pool_;
+  pmemkv::CMap map_;
+};
+
+class STreeStore final : public StoreIface {
+ public:
+  STreeStore(hw::PmemNamespace& ns, const StoreTuning& t)
+      : pool_(ns), tree_(pool_, make_opts(t)) {}
+
+  static pmemkv::STreeOptions make_opts(const StoreTuning& t) {
+    pmemkv::STreeOptions o;
+    o.read_combine = t.read_path;
+    o.read_cache_lines = t.read_path ? t.read_cache_lines : 0;
+    return o;
+  }
+
+  const char* name() const override { return "stree"; }
+  StoreKind kind() const override { return StoreKind::kStree; }
+  void create(sim::ThreadCtx& ctx) override {
+    pool_.create(ctx, 64);
+    tree_.create(ctx);
+  }
+  bool open(sim::ThreadCtx& ctx) override {
+    if (!pool_.open(ctx)) return false;
+    tree_.open(ctx);
+    return true;
+  }
+  void put(sim::ThreadCtx& ctx, std::string_view k,
+           std::string_view v) override {
+    const bool ok = tree_.put(ctx, k, v);
+    assert(ok && "stree keys are capped at 31 bytes");
+    (void)ok;
+  }
+  bool get(sim::ThreadCtx& ctx, std::string_view k,
+           std::string* v) override {
+    return tree_.get(ctx, k, v);
+  }
+  bool del(sim::ThreadCtx& ctx, std::string_view k) override {
+    return tree_.remove(ctx, k);
+  }
+  std::vector<std::pair<std::string, std::string>> scan(
+      sim::ThreadCtx& ctx, std::string_view start, std::size_t n) override {
+    return tree_.scan(ctx, start, n);
+  }
+  Status check(sim::ThreadCtx& ctx) override { return tree_.check(ctx); }
+
+ private:
+  pmem::Pool pool_;
+  pmemkv::STree tree_;
+};
+
+// KV over novafs: one file per key, value = file contents. Ordered scan
+// walks the DRAM name index.
+class NovaStore final : public StoreIface {
+ public:
+  NovaStore(hw::PmemNamespace& ns, const StoreTuning& t)
+      : fs_(ns, make_opts(t)) {}
+
+  static nova::NovaOptions make_opts(const StoreTuning& t) {
+    nova::NovaOptions o;
+    o.datalog = true;  // values are sub-page; embed them in the log
+    o.batch_log_appends = t.write_combine;
+    o.read_combine = t.read_path;
+    o.read_cache_lines = t.read_path ? t.read_cache_lines : 0;
+    return o;
+  }
+
+  const char* name() const override { return "nova"; }
+  StoreKind kind() const override { return StoreKind::kNova; }
+  void create(sim::ThreadCtx& ctx) override { fs_.format(ctx); }
+  bool open(sim::ThreadCtx& ctx) override { return fs_.mount(ctx); }
+  void put(sim::ThreadCtx& ctx, std::string_view k,
+           std::string_view v) override {
+    const std::string name(k);
+    int ino = fs_.open(ctx, name);
+    if (ino < 0) ino = fs_.create(ctx, name);
+    assert(ino >= 0);
+    fs_.write(ctx, ino, 0,
+              {reinterpret_cast<const std::uint8_t*>(v.data()), v.size()});
+    // An overwrite by a shorter value must not leave the old tail.
+    if (fs_.size(ctx, ino) != v.size()) fs_.truncate(ctx, ino, v.size());
+  }
+  bool get(sim::ThreadCtx& ctx, std::string_view k,
+           std::string* v) override {
+    const int ino = fs_.open(ctx, std::string(k));
+    if (ino < 0) return false;
+    v->resize(fs_.size(ctx, ino));
+    const std::size_t n = fs_.read(
+        ctx, ino, 0,
+        {reinterpret_cast<std::uint8_t*>(v->data()), v->size()});
+    v->resize(n);
+    return true;
+  }
+  bool del(sim::ThreadCtx& ctx, std::string_view k) override {
+    return fs_.unlink(ctx, std::string(k));
+  }
+  std::vector<std::pair<std::string, std::string>> scan(
+      sim::ThreadCtx& ctx, std::string_view start, std::size_t n) override {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (auto it = fs_.names().lower_bound(std::string(start));
+         it != fs_.names().end() && out.size() < n; ++it) {
+      std::string v;
+      if (get(ctx, it->first, &v)) out.emplace_back(it->first, std::move(v));
+    }
+    return out;
+  }
+  Status check(sim::ThreadCtx& ctx) override { return fs_.fsck(ctx); }
+
+ private:
+  nova::NovaFs fs_;
+};
+
+}  // namespace
+
+std::unique_ptr<StoreIface> make_store(StoreKind kind, hw::PmemNamespace& ns,
+                                       const StoreTuning& tuning) {
+  switch (kind) {
+    case StoreKind::kLsmkv: return std::make_unique<LsmkvStore>(ns, tuning);
+    case StoreKind::kCmap: return std::make_unique<CMapStore>(ns, tuning);
+    case StoreKind::kStree: return std::make_unique<STreeStore>(ns, tuning);
+    case StoreKind::kNova: return std::make_unique<NovaStore>(ns, tuning);
+  }
+  return nullptr;
+}
+
+}  // namespace xp::workload

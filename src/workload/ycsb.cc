@@ -1,0 +1,108 @@
+#include "workload/ycsb.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace xp::workload {
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+namespace {
+double zeta_range(std::uint64_t from, std::uint64_t to, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = from; i < to; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  return sum;
+}
+}  // namespace
+
+Zipfian::Zipfian(std::uint64_t items, double theta)
+    : items_(items ? items : 1),
+      theta_(theta),
+      zetan_(zeta_range(0, items_, theta)),
+      zeta2_(zeta_range(0, 2, theta)) {
+  refresh();
+}
+
+void Zipfian::refresh() {
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+void Zipfian::grow(std::uint64_t items) {
+  if (items <= items_) return;
+  zetan_ += zeta_range(items_, items, theta_);
+  items_ = items;
+  refresh();
+}
+
+std::uint64_t Zipfian::next(XorShift& rng) {
+  const double u = rng.uniform_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= items_ ? items_ - 1 : rank;
+}
+
+std::string key_name(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "user%012llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string make_value(std::uint64_t id, std::uint64_t version,
+                       std::size_t len) {
+  std::string v(len, '\0');
+  std::uint64_t x = mix64(id * 0x9e3779b97f4a7c15ULL + version);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i % 8 == 0) x = mix64(x);
+    v[i] = static_cast<char>('a' + ((x >> ((i % 8) * 8)) & 0xff) % 26);
+  }
+  return v;
+}
+
+Spec ycsb(char workload) {
+  Spec s;
+  s.tag = workload;
+  switch (workload) {
+    case 'A': s.read = 0.5; s.update = 0.5; break;
+    case 'B': s.read = 0.95; s.update = 0.05; break;
+    case 'C': s.read = 1.0; s.update = 0; break;
+    case 'D':
+      s.read = 0.95; s.update = 0; s.insert = 0.05;
+      s.dist = Spec::Dist::kLatest;
+      break;
+    case 'E': s.read = 0; s.update = 0; s.scan = 0.95; s.insert = 0.05; break;
+    case 'F': s.read = 0.5; s.update = 0; s.rmw = 0.5; break;
+    default: assert(false && "unknown YCSB workload");
+  }
+  return s;
+}
+
+OpKind pick_op(const Spec& spec, XorShift& rng) {
+  const double u = rng.uniform_double();
+  double acc = spec.read;
+  if (u < acc) return OpKind::kRead;
+  if (u < (acc += spec.update)) return OpKind::kUpdate;
+  if (u < (acc += spec.insert)) return OpKind::kInsert;
+  if (u < (acc += spec.scan)) return OpKind::kScan;
+  return OpKind::kRmw;
+}
+
+}  // namespace xp::workload

@@ -1,0 +1,111 @@
+// Deterministic YCSB-style workload generation (workloads A-F).
+//
+// The generators are pure functions of their seeds: every simulated
+// thread draws from its own xorshift64* stream, so a run's op sequence
+// (and therefore its simulated timing and telemetry) is byte-identical
+// no matter how many host jobs execute the surrounding sweep grid. The
+// zipfian generator is the Gray et al. incremental-zeta construction
+// YCSB uses, with FNV scrambling so popular ranks spread over the whole
+// key space instead of clustering at the low ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xp::workload {
+
+// xorshift64* — one independent, seedable op stream per thread. Chosen
+// over sim::Rng so workload draws never perturb (or depend on) the
+// simulator's own per-thread RNG state.
+class XorShift {
+ public:
+  explicit XorShift(std::uint64_t seed)
+      : s_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next() {
+    s_ ^= s_ >> 12;
+    s_ ^= s_ << 25;
+    s_ ^= s_ >> 27;
+    return s_ * 0x2545f4914f6cdd1dULL;
+  }
+  std::uint64_t uniform(std::uint64_t bound) {
+    return bound ? next() % bound : 0;
+  }
+  double uniform_double() {  // [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
+std::uint64_t fnv1a64(std::string_view s);
+std::uint64_t mix64(std::uint64_t x);  // splitmix64 finalizer
+
+// Zipfian ranks over [0, items) with parameter theta (YCSB default
+// 0.99). grow() extends the item count incrementally (read-latest adds
+// records as the workload runs) by summing only the new zeta terms.
+class Zipfian {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  explicit Zipfian(std::uint64_t items, double theta = kDefaultTheta);
+
+  std::uint64_t next(XorShift& rng);
+  void grow(std::uint64_t items);
+  std::uint64_t items() const { return items_; }
+
+ private:
+  void refresh();
+
+  std::uint64_t items_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+// Spread a zipfian rank over the key space (scrambled zipfian): without
+// this, the hottest keys are the first inserted and every store serves
+// them from one arena.
+inline std::uint64_t scramble(std::uint64_t rank, std::uint64_t items) {
+  return items ? mix64(rank) % items : 0;
+}
+
+// "user" + 12 zero-padded digits: sortable, and short enough for every
+// store (stree caps keys at 31 bytes).
+std::string key_name(std::uint64_t id);
+
+// Deterministic value bytes for (key id, version).
+std::string make_value(std::uint64_t id, std::uint64_t version,
+                       std::size_t len);
+
+enum class OpKind : unsigned char { kRead, kUpdate, kInsert, kScan, kRmw };
+
+struct Spec {
+  char tag = 'A';  // which preset this is (or '?' for custom mixes)
+  // Op mix; must sum to ~1. pick_op draws against the cumulative sums.
+  double read = 0.5;
+  double update = 0.5;
+  double insert = 0;
+  double scan = 0;
+  double rmw = 0;
+  enum class Dist { kZipfian, kUniform, kLatest } dist = Dist::kZipfian;
+  std::uint64_t records = 1000;  // preloaded keys
+  std::uint64_t ops = 4000;      // total ops across all threads
+  std::size_t value_len = 100;
+  std::size_t scan_len = 16;  // max items per scan
+  double zipf_theta = Zipfian::kDefaultTheta;
+  std::uint64_t seed = 1;
+};
+
+// The six standard mixes: A 50/50 read/update zipfian, B 95/5 zipfian,
+// C read-only zipfian, D 95/5 read/insert latest, E 95/5 scan/insert
+// zipfian, F 50/50 read/read-modify-write zipfian.
+Spec ycsb(char workload);
+
+OpKind pick_op(const Spec& spec, XorShift& rng);
+
+}  // namespace xp::workload

@@ -94,6 +94,15 @@ TEST(CrashMcSweep, Stree) {
   expect_clean_sweep(*t, {.max_exhaustive = 200, .samples = 150}, 150);
 }
 
+// Sharded frontend: crash points land inside cross-shard batched
+// dispatch and donated background merges. Each shard's recovered
+// restriction must be that shard's pre- or post-op state (a shard's
+// batch slice is atomic; the cross-shard batch as a whole is not).
+TEST(CrashMcSweep, ShardedLsmkv) {
+  auto t = crashmc::make_sharded_target();
+  expect_clean_sweep(*t, {.max_exhaustive = 256, .samples = 200}, 200);
+}
+
 // A different sampling seed must explore different (still violation-free)
 // points — cheap evidence the sampler isn't stuck on one subset.
 TEST(CrashMcSweep, SeedVariesSampledPoints) {

@@ -239,6 +239,12 @@ TEST(ScheduleExplore, StreeLinearizable) {
   expect_family_clean(*make_stree_target(), "stree");
 }
 
+// The sharded frontend: per-shard locks, cross-shard batched dispatch,
+// and a live background-compaction donor thread, all interleaved.
+TEST(ScheduleExplore, ShardedLinearizable) {
+  expect_family_clean(*make_sharded_target(), "sharded-lsmkv");
+}
+
 // Exploration is deterministic end to end: identical options give
 // identical schedule sets and identical checker work.
 TEST(ScheduleExplore, DeterministicAcrossRuns) {
@@ -296,6 +302,13 @@ TEST(CrashCompose, StreeRecoversToLinearizablePrefix) {
   expect_crash_clean(*make_stree_target(), "stree");
 }
 
+// Crash x interleaving through the sharded frontend: a crash inside a
+// cross-shard dispatch or a background merge must still recover to a
+// linearizable prefix — with each shard's batch slice all-or-nothing.
+TEST(CrashCompose, ShardedRecoversToLinearizablePrefix) {
+  expect_crash_clean(*make_sharded_target(), "sharded-lsmkv");
+}
+
 // ------------------------------------------------- seeded regression ----
 
 // The oracle must catch the deliberately broken lock elision: with the
@@ -317,6 +330,21 @@ TEST(SeededRegression, LsmkvElidedRmwLockCaught) {
   to.fault = TestFault::kElideRmwLock;
   to.ops_per_thread = 6;
   auto target = make_lsmkv_target(to);
+  Options o = live_options();
+  const Result r = explore(*target, o);
+  ASSERT_FALSE(r.ok()) << "elided RMW lock not caught: " << summarize(r);
+  EXPECT_EQ(r.violations.front().kind, "linearizability") << summarize(r);
+}
+
+// The same lost-update race through the sharded frontend: dropping the
+// owning shard's lock between the counter read and write must surface
+// as a linearizability violation, proving the oracle sees through the
+// router + per-shard locking.
+TEST(SeededRegression, ShardedElidedRmwLockCaught) {
+  TargetOptions to;
+  to.fault = TestFault::kElideRmwLock;
+  to.ops_per_thread = 6;
+  auto target = make_sharded_target(to);
   Options o = live_options();
   const Result r = explore(*target, o);
   ASSERT_FALSE(r.ok()) << "elided RMW lock not caught: " << summarize(r);
