@@ -17,7 +17,17 @@
 // --jobs N and the binary exits non-zero if any row differs (the
 // workload engine's any-`--jobs` byte-identical contract).
 //
-// Usage: bench_ycsb [--mini] [--jobs N] [--out FILE] [--host-cores N]
+// With --faults the binary appends a degraded-mode grid: the same
+// replicated frontend measured healthy vs. with one of four shards
+// quarantined + poisoned mid-service (online rebuild on the engine's
+// background thread), plus a fault-free replicas=1 vs replicas=2
+// result-identity check. Gates (exit non-zero on violation): zero
+// silent corruptions under the host-side read oracle, degraded
+// throughput >= 0.6x healthy, the rebuilt shard byte-identical to its
+// surviving replica, and the identity checksums equal.
+//
+// Usage: bench_ycsb [--mini] [--faults] [--jobs N] [--out FILE]
+//                   [--host-cores N]
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +42,7 @@
 #include "telemetry/session.h"
 #include "workload/engine.h"
 #include "workload/shard.h"
+#include "xpsim/fault.h"
 #include "xpsim/platform.h"
 
 namespace {
@@ -207,16 +218,131 @@ const Row* find_row(const std::vector<Row>& rows, const char* store,
   return nullptr;
 }
 
+// ---- --faults: degraded-mode grid and resilience gates ------------------
+
+// Poison up to `max_lines` nonzero XPLines of the namespace image, so
+// the injected faults sit under live store data.
+unsigned poison_live_lines(hw::PmemNamespace& ns, unsigned max_lines,
+                           unsigned stride = 1) {
+  std::vector<std::uint8_t> img(ns.size());
+  ns.peek(0, img);
+  hw::FaultInjector inj(ns.platform());
+  unsigned planted = 0, seen = 0;
+  for (std::uint64_t off = 0; off + hw::Platform::kXpLineBytes <= img.size();
+       off += hw::Platform::kXpLineBytes) {
+    bool live = false;
+    for (unsigned b = 0; b < hw::Platform::kXpLineBytes && !live; ++b)
+      live = img[off + b] != 0;
+    if (!live) continue;
+    if (seen++ % stride != 0) continue;
+    inj.poison(ns, off);
+    if (++planted >= max_lines) break;
+  }
+  return planted;
+}
+
+struct FaultRow {
+  std::string name;
+  double kops = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t typed_errors = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t retries = 0;
+  workload::ResilienceStats stats;
+  bool healthy_at_end = false;
+  bool rebuild_verified = true;  // vacuous on fault-free rows
+};
+
+FaultRow run_fault_point(const char* name, bool degraded, unsigned replicas,
+                         unsigned threads, std::uint64_t records,
+                         std::uint64_t ops) {
+  FaultRow row;
+  row.name = name;
+
+  hw::Platform platform(small_llc_timing(), /*seed=*/1);
+  const auto shard_ns =
+      workload::ShardedStore::make_namespaces(platform, 4, 64ull << 20);
+  workload::ShardOptions so;
+  so.kind = workload::StoreKind::kLsmkv;
+  so.tuning = tuning_for({.knobs = true});
+  so.replicas = replicas;
+  workload::ShardedStore store(shard_ns, so);
+
+  workload::Spec spec = workload::ycsb('B');
+  spec.records = records;
+  spec.ops = ops;
+
+  sim::ThreadCtx setup({.id = 100, .socket = 0, .mlp = 8, .seed = 1});
+  store.create(setup);
+  workload::load(store, spec, setup);
+  if (degraded) {
+    // One of four failure domains goes bad under live traffic: the shard
+    // is pulled from service and its DIMM carries at-rest poison the
+    // online rebuild must scrub and heal.
+    store.quarantine_shard(setup, 0);
+    poison_live_lines(*shard_ns[0], 16, /*stride=*/4);
+  }
+  platform.reset_timing();
+
+  workload::EngineOptions eo;
+  eo.threads = threads;
+  eo.background_thread = true;
+  eo.validate_reads = true;
+  const workload::Result res = workload::run(store, spec, eo);
+
+  row.ops = res.ops;
+  row.kops = res.kops();
+  row.checksum = res.checksum;
+  row.corruptions = res.corruptions;
+  row.typed_errors = res.typed_errors;
+  row.failovers = res.failovers;
+  row.retries = res.retries;
+
+  // Finish any repair still in flight, then audit the outcome.
+  sim::ThreadCtx after({.id = 200, .socket = 0, .mlp = 8, .seed = 2});
+  for (int turn = 0; turn < 20000 && !store.all_healthy(); ++turn)
+    store.background_turn(after);
+  store.flush_pending(after);
+  row.healthy_at_end = store.all_healthy() && store.check(after).ok();
+  row.stats = store.resilience();
+
+  if (degraded && row.healthy_at_end) {
+    // The rebuilt store's keyspace must byte-match the surviving copies
+    // it was re-silvered from: store 0 hosts logical shard 0 (other copy
+    // on store 1) and logical shard 3 (other copy on store 3).
+    std::size_t compared = 0;
+    const auto rebuilt =
+        store.shard(0).scan(after, "", static_cast<std::size_t>(-1));
+    for (const auto& [k, v] : rebuilt) {
+      const unsigned s = workload::shard_of(k, 4);
+      if (s != 0 && s != 3) {
+        row.rebuild_verified = false;  // hosting a shard it doesn't own
+        continue;
+      }
+      std::string other;
+      if (!store.shard(s == 0 ? 1 : 3).get(after, k, &other) || other != v)
+        row.rebuild_verified = false;
+      ++compared;
+    }
+    if (compared == 0) row.rebuild_verified = false;
+  }
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* out_path = "BENCH_YCSB.json";
   bool mini = false;
+  bool faults = false;
   unsigned host_cores = std::thread::hardware_concurrency();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[i + 1];
     if (std::strcmp(argv[i], "--mini") == 0) mini = true;
+    if (std::strcmp(argv[i], "--faults") == 0) faults = true;
     if (std::strcmp(argv[i], "--host-cores") == 0 && i + 1 < argc)
       host_cores = static_cast<unsigned>(std::atoi(argv[i + 1]));
   }
@@ -300,6 +426,79 @@ int main(int argc, char** argv) {
     benchutil::row("workload B read-path + sharding vs stock: %.2fx",
                    b_speedup);
 
+  // ---- --faults: degraded-mode grid + resilience gates ------------------
+  bool fault_gates_ok = true;
+  std::vector<FaultRow> fault_rows;
+  double degraded_ratio = 0;
+  bool identity_ok = true;
+  if (faults) {
+    const std::uint64_t frecs = mini ? 800 : 2000;
+    const std::uint64_t fops = mini ? 1600 : 4000;
+    fault_rows.push_back(run_fault_point("B-r2-healthy", /*degraded=*/false,
+                                         /*replicas=*/2, 8, frecs, fops));
+    fault_rows.push_back(run_fault_point("B-r2-degraded", /*degraded=*/true,
+                                         /*replicas=*/2, 8, frecs, fops));
+    // Replication result-identity: fault-free, single worker (so the op
+    // interleaving is a pure function of program order), replicas=1 and
+    // replicas=2 must observe byte-identical results.
+    fault_rows.push_back(run_fault_point("B-r1-identity", false, 1, 1,
+                                         mini ? 300 : 600, mini ? 600 : 1200));
+    fault_rows.push_back(run_fault_point("B-r2-identity", false, 2, 1,
+                                         mini ? 300 : 600, mini ? 600 : 1200));
+    // Bind references only once the vector is final: push_back may
+    // reallocate and would leave earlier references dangling.
+    const FaultRow& healthy = fault_rows[0];
+    const FaultRow& degraded = fault_rows[1];
+    degraded_ratio =
+        healthy.kops > 0 ? degraded.kops / healthy.kops : 0;
+    identity_ok = fault_rows[2].checksum == fault_rows[3].checksum;
+
+    benchutil::row("");
+    benchutil::row("%-18s %10s %8s %8s %8s %8s %8s", "fault point",
+                   "kops/s", "corrupt", "typed", "failover", "resilver",
+                   "healthy");
+    for (const FaultRow& r : fault_rows)
+      benchutil::row("%-18s %10.1f %8llu %8llu %8llu %8llu %8s",
+                     r.name.c_str(), r.kops,
+                     static_cast<unsigned long long>(r.corruptions),
+                     static_cast<unsigned long long>(r.typed_errors),
+                     static_cast<unsigned long long>(r.failovers),
+                     static_cast<unsigned long long>(r.stats.keys_resilvered),
+                     r.healthy_at_end ? "yes" : "NO");
+    benchutil::row("degraded/healthy throughput: %.2fx (gate >= 0.60x)",
+                   degraded_ratio);
+    benchutil::row("replicas=1 vs replicas=2 identity: %s",
+                   identity_ok ? "identical" : "MISMATCH");
+
+    for (const FaultRow& r : fault_rows) {
+      if (r.corruptions != 0) {
+        benchutil::row("GATE: %s saw %llu silent corruptions", r.name.c_str(),
+                       static_cast<unsigned long long>(r.corruptions));
+        fault_gates_ok = false;
+      }
+      if (!r.healthy_at_end || !r.rebuild_verified) {
+        benchutil::row("GATE: %s did not return to verified health",
+                       r.name.c_str());
+        fault_gates_ok = false;
+      }
+    }
+    if (degraded.stats.keys_lost != 0) {
+      benchutil::row("GATE: degraded run lost %llu acked keys",
+                     static_cast<unsigned long long>(
+                         degraded.stats.keys_lost));
+      fault_gates_ok = false;
+    }
+    if (degraded_ratio < 0.6) {
+      benchutil::row("GATE: degraded throughput below 0.6x healthy");
+      fault_gates_ok = false;
+    }
+    if (degraded.failovers == 0 || degraded.stats.keys_resilvered == 0) {
+      benchutil::row("GATE: degraded run never exercised failover/rebuild");
+      fault_gates_ok = false;
+    }
+    if (!identity_ok) fault_gates_ok = false;
+  }
+
   // One instrumented sharded run's telemetry summary rides along: the
   // per-DIMM (= per-shard) EWR/ERR timelines under workload A.
   std::string summary;
@@ -346,11 +545,44 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"rows\": [\n");
   json_rows(f, rows);
   std::fprintf(f, "  ],\n");
+  if (faults) {
+    std::fprintf(f,
+                 "  \"resilience\": {\"gates_ok\": %s, "
+                 "\"degraded_ratio\": %.3f, \"identity_ok\": %s, "
+                 "\"fault_rows\": [\n",
+                 fault_gates_ok ? "true" : "false", degraded_ratio,
+                 identity_ok ? "true" : "false");
+    for (std::size_t i = 0; i < fault_rows.size(); ++i) {
+      const FaultRow& r = fault_rows[i];
+      std::fprintf(
+          f,
+          "    {\"name\": \"%s\", \"kops\": %.2f, \"checksum\": \"%016llx\", "
+          "\"corruptions\": %llu, \"typed_errors\": %llu, "
+          "\"failovers\": %llu, \"retries\": %llu, "
+          "\"keys_resilvered\": %llu, \"keys_lost\": %llu, "
+          "\"lines_healed\": %llu, \"recovered\": %llu, "
+          "\"healthy_at_end\": %s, \"rebuild_verified\": %s}%s\n",
+          r.name.c_str(), r.kops,
+          static_cast<unsigned long long>(r.checksum),
+          static_cast<unsigned long long>(r.corruptions),
+          static_cast<unsigned long long>(r.typed_errors),
+          static_cast<unsigned long long>(r.failovers),
+          static_cast<unsigned long long>(r.retries),
+          static_cast<unsigned long long>(r.stats.keys_resilvered),
+          static_cast<unsigned long long>(r.stats.keys_lost),
+          static_cast<unsigned long long>(r.stats.lines_healed),
+          static_cast<unsigned long long>(r.stats.recovered),
+          r.healthy_at_end ? "true" : "false",
+          r.rebuild_verified ? "true" : "false",
+          i + 1 < fault_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]},\n");
+  }
   std::fprintf(f, "  \"telemetry_summary\": %s\n", summary.c_str());
   std::fprintf(f, "}\n");
   std::fclose(f);
   benchutil::row("");
   benchutil::note("wrote %s", out_path);
 
-  return identical ? 0 : 1;
+  return identical && fault_gates_ok ? 0 : 1;
 }

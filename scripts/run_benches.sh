@@ -37,10 +37,12 @@ echo "== bench_stores (jobs=$JOBS) =="
 
 echo
 echo "== bench_ycsb (jobs=$JOBS) =="
-# YCSB A-F over all four stores plus the sharded per-DIMM frontend.
+# YCSB A-F over all four stores plus the sharded per-DIMM frontend, and
+# the --faults degraded-mode grid (healthy vs one-of-four shards
+# quarantined under replication, plus the replicas=1 identity check).
 # Exits non-zero if its serial vs parallel grids diverge (the engine's
-# byte-identical-at-any---jobs contract).
-"$BUILD/bench/bench_ycsb" --jobs "$JOBS" --host-cores "$CORES" \
+# byte-identical-at-any---jobs contract) or a resilience gate fails.
+"$BUILD/bench/bench_ycsb" --faults --jobs "$JOBS" --host-cores "$CORES" \
     --out BENCH_YCSB.json
 
 # Determinism guard: byte-identical tables regardless of job count. The

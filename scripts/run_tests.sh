@@ -68,6 +68,15 @@ build-release/bench/crashmc_sweep --faults --points 80 --poison-points 20 \
     --seed 42 --checksums
 
 echo
+echo "== resilience fault smoke (bench_ycsb --faults, ASan/UBSan) =="
+# Degraded-mode grid on the replicated sharded frontend: zero silent
+# corruptions under the read oracle, degraded throughput >= 0.6x
+# healthy, the rebuilt shard byte-identical to its surviving replica,
+# and replicas=1 result-identity. The binary exits non-zero if any
+# resilience gate fails.
+build-asan/bench/bench_ycsb --mini --faults --out "$(mktemp)"
+
+echo
 echo "== schedmc smoke sweep (bounded schedule exploration) =="
 build-release/bench/schedmc_sweep --schedules 60 --dfs 24 --crash 2
 # Negative run: the seeded lock-elision regression must be caught (the

@@ -13,6 +13,7 @@
 #include "pmemlib/pool.h"
 #include "sim/rng.h"
 #include "workload/shard.h"
+#include "xpsim/fault.h"
 
 namespace xp::crashmc {
 
@@ -855,6 +856,141 @@ class ShardedTarget final : public Target {
   std::map<std::string, std::string> prev_[kShards], cur_[kShards];
 };
 
+// ----------------------------------------------------------- resilient --
+
+// Self-healing replicated frontend under combined media damage and
+// crash points: ShardedStore over two per-DIMM lsmkv shards with
+// replicas=2, so every key is mirrored on both stores. Mid-run, store
+// 0's namespace takes at-rest poison; the typed request path contains
+// the resulting MediaErrors, quarantines the store, and donated
+// background turns drive the online rebuild (ARS scrub, full-line
+// ntstore heals, reformat, re-silver from the replica, verify) while
+// writes keep flowing. Every persist event inside those heal/re-silver
+// bursts is a crash point; recovery re-opens a fresh replicas=2
+// frontend (whose open() re-derives quarantine from the media state via
+// ARS), drives it back to healthy, and requires the served state to
+// match the pre- or post-op model — run twice for double-recovery
+// idempotence.
+class ResilientTarget final : public Target {
+ public:
+  std::string name() const override { return "resilient-lsmkv"; }
+
+  hw::Platform& reset() override {
+    platform_ = std::make_unique<hw::Platform>();
+    ns_ = workload::ShardedStore::make_namespaces(*platform_, kShards,
+                                                  16ull << 20);
+    store_ = std::make_unique<workload::ShardedStore>(ns_, shard_options());
+    sim::ThreadCtx ctx = make_thread(0);
+    store_->create(ctx);
+    prev_.clear();
+    cur_.clear();
+    platform_->reset_timing();
+    return *platform_;
+  }
+
+  hw::PmemNamespace& nspace() override { return *ns_[0]; }
+
+  void run() override {
+    sim::ThreadCtx ctx = make_thread(0);
+    sim::Rng rng(29);
+    for (unsigned op = 0; op < kOps; ++op) {
+      if (op == kPoisonAt) {
+        hw::FaultInjector inj(*platform_, 7);
+        inj.poison_random(*ns_[0], 0, ns_[0]->size(), 3);
+      }
+      const std::string key = "key" + std::to_string(rng.uniform(kKeys));
+      prev_ = cur_;
+      workload::OpResult r;
+      if (rng.uniform(4) == 0 && cur_.count(key) != 0) {
+        cur_.erase(key);
+        r = store_->try_del(ctx, key);
+      } else {
+        const std::string val =
+            key + "#" + std::to_string(op) +
+            std::string(4 + rng.uniform(12),
+                        'a' + static_cast<char>(op % 26));
+        cur_[key] = val;
+        r = store_->try_put(ctx, key, val);
+      }
+      // An op no copy took was not acknowledged and had no effect.
+      if (r.status == workload::OpStatus::kUnavailable) cur_ = prev_;
+      // A few reads per op keep the degraded->quarantined budget moving.
+      std::string v;
+      (void)store_->try_get(ctx, key, &v);
+      // Donated turns drive the scrub/heal/re-silver pipeline, so crash
+      // points land inside its WAL bursts and full-line heal ntstores.
+      store_->background_turn(ctx);
+      store_->background_turn(ctx);
+    }
+    // Finish any in-flight rebuild under continued service.
+    for (unsigned i = 0; i < 400 && !store_->all_healthy(); ++i)
+      store_->background_turn(ctx);
+    store_->flush_pending(ctx);
+  }
+
+  std::string recover_and_check() override {
+    // Twice: recovering a recovered image must be a fixed point.
+    for (unsigned round = 0; round < 2; ++round) {
+      const std::string err = recover_once(round);
+      if (!err.empty()) return err;
+    }
+    return "";
+  }
+
+ private:
+  std::string recover_once(unsigned round) {
+    sim::ThreadCtx ctx = make_thread(5 + round);
+    workload::ShardedStore store(ns_, shard_options());
+    if (!store.open(ctx))
+      return "resilient open() failed (round " + std::to_string(round) + ")";
+    // Health is re-derived from the media state at open (ARS), so a
+    // crash mid-rebuild lands back in quarantine here; drive the rebuild
+    // to completion before judging state.
+    for (unsigned i = 0; i < 800 && !store.all_healthy(); ++i)
+      store.background_turn(ctx);
+    if (!store.all_healthy()) return "rebuild did not converge";
+    if (Status st = store.check(ctx); !st.ok()) return st.to_string();
+    std::map<std::string, std::string> got;
+    for (unsigned k = 0; k < kKeys; ++k) {
+      const std::string key = "key" + std::to_string(k);
+      std::string v;
+      const workload::OpResult r = store.try_get(ctx, key, &v);
+      if (r.ok())
+        got[key] = v;
+      else if (r.status != workload::OpStatus::kNotFound)
+        return std::string("typed error after rebuild: ") +
+               workload::op_status_name(r.status) + " for " + key;
+    }
+    if (got != prev_ && got != cur_)
+      return "recovered state matches neither the pre-op nor the post-op "
+             "model (" + std::to_string(got.size()) + " live keys, round " +
+             std::to_string(round) + ")";
+    return "";
+  }
+
+  static constexpr unsigned kShards = 2;
+  static constexpr unsigned kKeys = 8;
+  static constexpr unsigned kOps = 30;
+  static constexpr unsigned kPoisonAt = 10;
+
+  workload::ShardOptions shard_options() const {
+    workload::ShardOptions so;
+    so.kind = workload::StoreKind::kLsmkv;
+    so.replicas = 2;
+    // Singles must be durable at return for the per-op pre/post model.
+    so.tuning.write_combine = false;
+    so.tuning.memtable_bytes = 1 << 10;  // flush + merge under the run
+    so.writer_lanes = true;
+    so.quarantine_after = 1;  // fail fast: one read error quarantines
+    return so;
+  }
+
+  std::unique_ptr<hw::Platform> platform_;
+  std::vector<hw::PmemNamespace*> ns_;
+  std::unique_ptr<workload::ShardedStore> store_;
+  std::map<std::string, std::string> prev_, cur_;
+};
+
 }  // namespace
 
 std::unique_ptr<Target> make_pmemlib_target(bool inject_commit_fault) {
@@ -874,6 +1010,9 @@ std::unique_ptr<Target> make_cmap_target() {
 }
 std::unique_ptr<Target> make_sharded_target() {
   return std::make_unique<ShardedTarget>();
+}
+std::unique_ptr<Target> make_resilient_target() {
+  return std::make_unique<ResilientTarget>();
 }
 std::unique_ptr<Target> make_stree_target() {
   return std::make_unique<StreeTarget>();

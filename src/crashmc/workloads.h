@@ -63,6 +63,15 @@ std::unique_ptr<Target> make_stree_target();
 // five-family panel (and the fault campaign's loss semantics) stays
 // as it was.
 std::unique_ptr<Target> make_sharded_target();
+// Self-healing replicated frontend (ShardedStore, 2 shards, replicas=2,
+// lsmkv) under combined at-rest poison and crash points: the workload
+// quarantines store 0 mid-run and crash points land inside the online
+// rebuild's heal ntstores and re-silver WAL bursts. Recovery re-opens a
+// fresh replicas=2 frontend, drives the rebuild to completion, and
+// requires the served state to match the pre-/post-op model — twice,
+// for double-recovery idempotence. Not part of all_targets(), like the
+// sharded target.
+std::unique_ptr<Target> make_resilient_target();
 
 // The standard panel: pmemlib, lsmkv (FLEX WAL, per-record and group
 // commit), novafs (per-entry and batched log appends), cmap, stree.

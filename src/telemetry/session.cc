@@ -44,6 +44,20 @@ const char* read_path_kind_name(hw::ReadPathEventKind k) {
   return "read_path_unknown";
 }
 
+const char* resilience_kind_name(hw::ResilienceEventKind k) {
+  switch (k) {
+    case hw::ResilienceEventKind::kDegraded: return "shards_degraded";
+    case hw::ResilienceEventKind::kQuarantined: return "shards_quarantined";
+    case hw::ResilienceEventKind::kRebuilding: return "shards_rebuilding";
+    case hw::ResilienceEventKind::kRecovered: return "shards_recovered";
+    case hw::ResilienceEventKind::kFailoverRead: return "failover_reads";
+    case hw::ResilienceEventKind::kRetry: return "op_retries";
+    case hw::ResilienceEventKind::kUnavailable: return "ops_unavailable";
+    case hw::ResilienceEventKind::kResilverKey: return "keys_resilvered";
+  }
+  return "resilience_unknown";
+}
+
 const char* media_fault_kind_name(hw::MediaFaultKind k) {
   switch (k) {
     case hw::MediaFaultKind::kCorrected: return "ecc_corrected";
@@ -210,6 +224,19 @@ void Session::read_path(hw::ReadPathEventKind kind, sim::Time t,
   }
 }
 
+void Session::resilience(hw::ResilienceEventKind kind, sim::Time t,
+                         unsigned shard) {
+  ++resilience_counts_[static_cast<unsigned>(kind)];
+  last_event_time_ = std::max(last_event_time_, t);
+  if (trace_) {
+    std::string args = "{\"shard\":";
+    append_u64(args, shard);
+    args += '}';
+    trace_->instant(resilience_kind_name(kind), "resilience", t, 0, 0,
+                    std::move(args));
+  }
+}
+
 void Session::sched_point(unsigned kind, unsigned /*thread*/) {
   // Untimed (schedule exploration does not advance simulated clocks), so
   // no last_event_time_ update and no trace event — the counters feed the
@@ -354,6 +381,24 @@ std::string Session::summary_json() const {
         append_u64(out, ars_bad_lines_[i]);
       }
       out += "]}";
+    }
+  }
+
+  // Serving-layer resilience section — present only when the sharded
+  // frontend took a health transition or a request-level resilience
+  // outcome, so fault-free summaries are unchanged byte for byte.
+  {
+    std::uint64_t any = 0;
+    for (const std::uint64_t c : resilience_counts_) any += c;
+    if (any != 0) {
+      out += ",\"resilience\":{";
+      bool first = true;
+      for (unsigned k = 0; k < hw::kResilienceEventKinds; ++k) {
+        append_kv(out,
+                  resilience_kind_name(static_cast<hw::ResilienceEventKind>(k)),
+                  resilience_counts_[k], &first);
+      }
+      out += '}';
     }
   }
 

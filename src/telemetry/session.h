@@ -97,6 +97,9 @@ class Session final : public hw::TelemetrySink {
   std::uint64_t read_path_bytes(hw::ReadPathEventKind k) const {
     return read_path_bytes_[static_cast<unsigned>(k)];
   }
+  std::uint64_t resilience_count(hw::ResilienceEventKind k) const {
+    return resilience_counts_[static_cast<unsigned>(k)];
+  }
   std::uint64_t sched_point_count(sim::SchedPoint p) const {
     return sched_point_counts_[static_cast<unsigned>(p)];
   }
@@ -116,6 +119,8 @@ class Session final : public hw::TelemetrySink {
                    unsigned channel, std::uint64_t line_off) override;
   void read_path(hw::ReadPathEventKind kind, sim::Time t,
                  std::uint64_t bytes) override;
+  void resilience(hw::ResilienceEventKind kind, sim::Time t,
+                  unsigned shard) override;
   void sched_point(unsigned kind, unsigned thread) override;
   void tick(sim::Time now) override { sampler_.tick(now); }
   void run_complete(const char* name, sim::Time start, sim::Time end) override;
@@ -132,6 +137,7 @@ class Session final : public hw::TelemetrySink {
   std::array<std::uint64_t, hw::kMediaFaultKinds> media_fault_counts_{};
   std::array<std::uint64_t, hw::kReadPathEventKinds> read_path_counts_{};
   std::array<std::uint64_t, hw::kReadPathEventKinds> read_path_bytes_{};
+  std::array<std::uint64_t, hw::kResilienceEventKinds> resilience_counts_{};
   std::array<std::uint64_t, sim::kNumSchedPoints> sched_point_counts_{};
   std::vector<std::uint64_t> ars_bad_lines_;  // sorted unique line offsets
   sim::Time last_event_time_ = 0;

@@ -1,10 +1,31 @@
 #include "workload/engine.h"
 
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace xp::workload {
 
 namespace {
+
+// Host-side read-validation oracle (EngineOptions::validate_reads): the
+// set of value hashes ever issued for each key id. A read hit outside
+// the set is a silent corruption. Preloaded version-0 values are
+// recognized structurally so load() needn't be replayed into it.
+struct ReadOracle {
+  std::size_t value_len = 0;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>> seen;
+
+  void record(std::uint64_t id, std::string_view v) {
+    seen[id].insert(fnv1a64(v));
+  }
+  bool plausible(std::uint64_t id, std::uint64_t preloaded,
+                 std::string_view v) const {
+    if (id < preloaded && v == make_value(id, 0, value_len)) return true;
+    const auto it = seen.find(id);
+    return it != seen.end() && it->second.count(fnv1a64(v)) != 0;
+  }
+};
 
 struct PerThread {
   explicit PerThread(const Spec& spec, unsigned t, std::uint64_t base)
@@ -46,6 +67,23 @@ Result run(StoreIface& store, const Spec& spec, const EngineOptions& opts) {
   sim::Scheduler sched;
   std::vector<const sim::ThreadCtx*> worker_ctx;
 
+  ReadOracle oracle;
+  oracle.value_len = spec.value_len;
+
+  // Fold one typed outcome into the result counters. kNotFound is a
+  // clean miss, not an error.
+  auto absorb = [&res](const OpResult& r) {
+    res.retries += r.retries;
+    if (r.failover) ++res.failovers;
+    if (r.status != OpStatus::kOk && r.status != OpStatus::kNotFound)
+      ++res.typed_errors;
+  };
+  // Typed errors digest a status-distinct sentinel so runs differing
+  // only in error outcomes have different checksums.
+  auto err_token = [](const OpResult& r) -> std::uint64_t {
+    return 0xbadbad00u + static_cast<unsigned>(r.status);
+  };
+
   auto key_id = [&](PerThread& pt) -> std::uint64_t {
     switch (spec.dist) {
       case Spec::Dist::kUniform:
@@ -73,17 +111,39 @@ Result run(StoreIface& store, const Spec& spec, const EngineOptions& opts) {
       const OpKind op = pick_op(spec, pt.rng);
       std::uint64_t h = mix64((std::uint64_t{t} << 32) | pt.seq);
 
+      // A hit outside the issued-value set is silent corruption.
+      auto validate = [&](std::uint64_t id, std::string_view v) {
+        if (opts.validate_reads && !oracle.plausible(id, spec.records, v))
+          ++res.corruptions;
+      };
+      // Point read shared by kRead, the scan degrade, and the rmw head.
+      auto point_read = [&](std::uint64_t id) -> OpResult {
+        std::string v;
+        const OpResult r = store.try_get(ctx, key_name(id), &v);
+        absorb(r);
+        if (r.ok()) {
+          h = mix64(h ^ fnv1a64(v));
+          validate(id, v);
+        } else if (r.status == OpStatus::kNotFound) {
+          h = mix64(h ^ 0xdead);
+        } else {
+          h = mix64(h ^ err_token(r));
+        }
+        return r;
+      };
+
       auto write = [&](std::uint64_t id, bool is_insert) {
         const std::string key = key_name(id);
         std::string value = make_value(id, pt.seq + 1, spec.value_len);
+        if (opts.validate_reads) oracle.record(id, value);
         if (opts.dispatch_batch > 0) {
           pt.batch.push_back({key, std::move(value), false});
           if (pt.batch.size() >= opts.dispatch_batch) {
-            store.apply_batch(ctx, pt.batch);
+            absorb(store.try_apply_batch(ctx, pt.batch));
             pt.batch.clear();
           }
         } else {
-          store.put(ctx, key, value);
+          absorb(store.try_put(ctx, key, value));
         }
         if (is_insert) ++res.inserts; else ++res.updates;
         h = mix64(h ^ id);
@@ -91,12 +151,8 @@ Result run(StoreIface& store, const Spec& spec, const EngineOptions& opts) {
 
       switch (op) {
         case OpKind::kRead: {
-          const std::uint64_t id = key_id(pt);
-          std::string v;
-          const bool hit = store.get(ctx, key_name(id), &v);
           ++res.reads;
-          if (hit) ++res.read_hits;
-          h = mix64(h ^ (hit ? fnv1a64(v) : 0xdead));
+          if (point_read(key_id(pt)).ok()) ++res.read_hits;
           break;
         }
         case OpKind::kUpdate:
@@ -110,25 +166,28 @@ Result run(StoreIface& store, const Spec& spec, const EngineOptions& opts) {
           const std::size_t n = 1 + pt.rng.uniform(spec.scan_len);
           ++res.scans;
           if (store.supports_scan()) {
-            const auto rows = store.scan(ctx, key_name(id), n);
-            res.scanned_items += rows.size();
-            for (const auto& [k, v] : rows)
-              h = mix64(h ^ fnv1a64(k) ^ fnv1a64(v));
+            std::vector<std::pair<std::string, std::string>> rows;
+            const OpResult r = store.try_scan(ctx, key_name(id), n, &rows);
+            absorb(r);
+            if (r.ok()) {
+              res.scanned_items += rows.size();
+              for (const auto& [k, v] : rows)
+                h = mix64(h ^ fnv1a64(k) ^ fnv1a64(v));
+            } else {
+              h = mix64(h ^ err_token(r));
+            }
           } else {
             // Hash-ordered store: degrade to a point read.
-            std::string v;
-            const bool hit = store.get(ctx, key_name(id), &v);
-            h = mix64(h ^ (hit ? fnv1a64(v) : 0xdead));
+            point_read(id);
           }
           break;
         }
         case OpKind::kRmw: {
           const std::uint64_t id = key_id(pt);
-          std::string v;
-          const bool hit = store.get(ctx, key_name(id), &v);
-          h = mix64(h ^ (hit ? fnv1a64(v) : 0xdead));
-          store.put(ctx, key_name(id), make_value(id, pt.seq + 1,
-                                                  spec.value_len));
+          point_read(id);
+          const std::string nv = make_value(id, pt.seq + 1, spec.value_len);
+          if (opts.validate_reads) oracle.record(id, nv);
+          absorb(store.try_put(ctx, key_name(id), nv));
           ++res.rmws;
           break;
         }
@@ -140,7 +199,7 @@ Result run(StoreIface& store, const Spec& spec, const EngineOptions& opts) {
       pt.checksum ^= h;
       if (--pt.remaining == 0) {
         if (!pt.batch.empty()) {
-          store.apply_batch(ctx, pt.batch);
+          absorb(store.try_apply_batch(ctx, pt.batch));
           pt.batch.clear();
         }
         // The last worker out drains any cross-thread group buffer so

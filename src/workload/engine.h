@@ -29,6 +29,11 @@ struct EngineOptions {
   // writes; the engine's checksum is over the observed results either
   // way, so determinism is unaffected.
   std::size_t dispatch_batch = 0;
+  // Check every read hit against the set of values ever issued for that
+  // key (host-side DRAM oracle, no simulated cost): a hit outside the
+  // set is a silent corruption — the one outcome the typed error
+  // surface must never allow. Off by default (costs host memory).
+  bool validate_reads = false;
 };
 
 struct Result {
@@ -37,6 +42,11 @@ struct Result {
   std::uint64_t updates = 0, inserts = 0, rmws = 0;
   std::uint64_t scans = 0, scanned_items = 0;
   std::uint64_t background_turns = 0;  // bg-thread turns that did work
+  // Typed resilience outcomes (all zero on fault-free runs).
+  std::uint64_t typed_errors = 0;  // ops ending kMediaError/kUnavailable/...
+  std::uint64_t failovers = 0;     // reads served by a replica copy
+  std::uint64_t retries = 0;       // backoff rounds consumed
+  std::uint64_t corruptions = 0;   // validate_reads: hit outside the oracle
   sim::Time elapsed = 0;               // latest worker clock
   sim::Time p50 = 0, p99 = 0;          // per-op simulated latency
   std::uint64_t checksum = 0;  // order-insensitive digest of results

@@ -56,6 +56,26 @@ struct BatchOp {
   bool del = false;
 };
 
+// Typed per-operation outcome for the resilient request path. The
+// legacy bool/void methods throw hw::MediaError out of the store on a
+// poisoned-line read; the try_* methods translate that into a status so
+// callers above the frontend never see an exception or silent garbage.
+enum class OpStatus : unsigned char {
+  kOk,          // operation applied / value returned
+  kNotFound,    // clean miss (get/del of an absent key)
+  kMediaError,  // a poisoned XPLine was hit and contained (typed §2.1 MCE)
+  kUnavailable, // no copy could serve within the retry/deadline budget
+  kDataLoss,    // every copy of this key's data was lost (replicated mode)
+};
+const char* op_status_name(OpStatus s);
+
+struct OpResult {
+  OpStatus status = OpStatus::kOk;
+  unsigned retries = 0;  // deterministic backoff rounds consumed
+  bool failover = false; // a replica copy served this read
+  bool ok() const { return status == OpStatus::kOk; }
+};
+
 class StoreIface {
  public:
   virtual ~StoreIface() = default;
@@ -98,6 +118,36 @@ class StoreIface {
   }
 
   virtual Status check(sim::ThreadCtx& ctx) = 0;
+
+  // --- Typed request path -----------------------------------------------
+  // Default implementations wrap the legacy methods and translate a
+  // thrown hw::MediaError into OpStatus::kMediaError. A MediaError while
+  // the platform is frozen (an armed read-fault campaign: the machine
+  // check killed the "process") is rethrown — containment there would
+  // fake surviving a crash. crashmc::CrashPointHit always propagates.
+  // The sharded frontend overrides these with replication, health
+  // tracking, bounded retry and deadline budgets.
+  virtual OpResult try_put(sim::ThreadCtx& ctx, std::string_view key,
+                           std::string_view value);
+  virtual OpResult try_get(sim::ThreadCtx& ctx, std::string_view key,
+                           std::string* value);
+  virtual OpResult try_del(sim::ThreadCtx& ctx, std::string_view key,
+                           bool* found = nullptr);
+  virtual OpResult try_scan(sim::ThreadCtx& ctx, std::string_view start,
+                            std::size_t n,
+                            std::vector<std::pair<std::string, std::string>>* out);
+  virtual OpResult try_apply_batch(sim::ThreadCtx& ctx,
+                                   std::span<const BatchOp> ops);
+
+  // The platform backing this store's namespace(s); used by the typed
+  // path to distinguish contained media errors from frozen-platform
+  // machine checks. Adapters over a single namespace return its platform.
+  virtual hw::Platform* platform_of() const { return nullptr; }
+
+  // Family-specific media salvage after poisoned lines were healed
+  // (zero-filled): re-derive consistency from redundant metadata where
+  // the family keeps any (lsmkv RecoveryInfo repair), then re-verify.
+  virtual Status repair_media(sim::ThreadCtx& ctx) { return check(ctx); }
 };
 
 std::unique_ptr<StoreIface> make_store(StoreKind kind, hw::PmemNamespace& ns,

@@ -23,6 +23,17 @@ const char* store_kind_name(StoreKind k) {
   return "?";
 }
 
+const char* op_status_name(OpStatus s) {
+  switch (s) {
+    case OpStatus::kOk: return "ok";
+    case OpStatus::kNotFound: return "not_found";
+    case OpStatus::kMediaError: return "media_error";
+    case OpStatus::kUnavailable: return "unavailable";
+    case OpStatus::kDataLoss: return "data_loss";
+  }
+  return "?";
+}
+
 void StoreIface::apply_batch(sim::ThreadCtx& ctx,
                              std::span<const BatchOp> ops) {
   for (const BatchOp& op : ops) {
@@ -36,10 +47,63 @@ void StoreIface::apply_batch(sim::ThreadCtx& ctx,
 
 namespace {
 
+// Shared translation for the default try_* wrappers: run `fn`, contain a
+// thrown hw::MediaError as a typed status — unless the platform froze
+// (armed read-fault campaign: the machine check was fatal), in which
+// case the exception keeps propagating like the process death it models.
+template <typename Fn>
+OpResult contain_media(const StoreIface& store, Fn&& fn) {
+  OpResult r;
+  try {
+    fn(r);
+  } catch (const hw::MediaError&) {
+    const hw::Platform* p = store.platform_of();
+    if (p != nullptr && p->frozen()) throw;
+    r.status = OpStatus::kMediaError;
+  }
+  return r;
+}
+
+}  // namespace
+
+OpResult StoreIface::try_put(sim::ThreadCtx& ctx, std::string_view key,
+                             std::string_view value) {
+  return contain_media(*this, [&](OpResult&) { put(ctx, key, value); });
+}
+
+OpResult StoreIface::try_get(sim::ThreadCtx& ctx, std::string_view key,
+                             std::string* value) {
+  return contain_media(*this, [&](OpResult& r) {
+    if (!get(ctx, key, value)) r.status = OpStatus::kNotFound;
+  });
+}
+
+OpResult StoreIface::try_del(sim::ThreadCtx& ctx, std::string_view key,
+                             bool* found) {
+  return contain_media(*this, [&](OpResult& r) {
+    const bool f = del(ctx, key);
+    if (found != nullptr) *found = f;
+    if (!f && del_reports_found()) r.status = OpStatus::kNotFound;
+  });
+}
+
+OpResult StoreIface::try_scan(
+    sim::ThreadCtx& ctx, std::string_view start, std::size_t n,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  return contain_media(*this, [&](OpResult&) { *out = scan(ctx, start, n); });
+}
+
+OpResult StoreIface::try_apply_batch(sim::ThreadCtx& ctx,
+                                     std::span<const BatchOp> ops) {
+  return contain_media(*this, [&](OpResult&) { apply_batch(ctx, ops); });
+}
+
+namespace {
+
 class LsmkvStore final : public StoreIface {
  public:
   LsmkvStore(hw::PmemNamespace& ns, const StoreTuning& t)
-      : db_(ns, make_opts(t)) {}
+      : ns_(ns), db_(ns, make_opts(t)) {}
 
   static kv::DbOptions make_opts(const StoreTuning& t) {
     kv::DbOptions o;
@@ -90,15 +154,21 @@ class LsmkvStore final : public StoreIface {
     return db_.background_work(ctx);
   }
   Status check(sim::ThreadCtx& ctx) override { return db_.check(ctx); }
+  hw::Platform* platform_of() const override { return &ns_.platform(); }
+  Status repair_media(sim::ThreadCtx& ctx) override {
+    db_.repair(ctx);  // RecoveryInfo-driven salvage: quarantine bad SSTs
+    return db_.check(ctx);
+  }
 
  private:
+  hw::PmemNamespace& ns_;
   kv::Db db_;
 };
 
 class CMapStore final : public StoreIface {
  public:
   CMapStore(hw::PmemNamespace& ns, const StoreTuning& t)
-      : pool_(ns), map_(pool_, make_opts(t)) {}
+      : ns_(ns), pool_(ns), map_(pool_, make_opts(t)) {}
 
   static pmemkv::CMapOptions make_opts(const StoreTuning& t) {
     pmemkv::CMapOptions o;
@@ -136,8 +206,10 @@ class CMapStore final : public StoreIface {
     return {};
   }
   Status check(sim::ThreadCtx& ctx) override { return map_.check(ctx); }
+  hw::Platform* platform_of() const override { return &ns_.platform(); }
 
  private:
+  hw::PmemNamespace& ns_;
   pmem::Pool pool_;
   pmemkv::CMap map_;
 };
@@ -145,7 +217,7 @@ class CMapStore final : public StoreIface {
 class STreeStore final : public StoreIface {
  public:
   STreeStore(hw::PmemNamespace& ns, const StoreTuning& t)
-      : pool_(ns), tree_(pool_, make_opts(t)) {}
+      : ns_(ns), pool_(ns), tree_(pool_, make_opts(t)) {}
 
   static pmemkv::STreeOptions make_opts(const StoreTuning& t) {
     pmemkv::STreeOptions o;
@@ -183,8 +255,10 @@ class STreeStore final : public StoreIface {
     return tree_.scan(ctx, start, n);
   }
   Status check(sim::ThreadCtx& ctx) override { return tree_.check(ctx); }
+  hw::Platform* platform_of() const override { return &ns_.platform(); }
 
  private:
+  hw::PmemNamespace& ns_;
   pmem::Pool pool_;
   pmemkv::STree tree_;
 };
@@ -194,7 +268,7 @@ class STreeStore final : public StoreIface {
 class NovaStore final : public StoreIface {
  public:
   NovaStore(hw::PmemNamespace& ns, const StoreTuning& t)
-      : fs_(ns, make_opts(t)) {}
+      : ns_(ns), fs_(ns, make_opts(t)) {}
 
   static nova::NovaOptions make_opts(const StoreTuning& t) {
     nova::NovaOptions o;
@@ -245,8 +319,10 @@ class NovaStore final : public StoreIface {
     return out;
   }
   Status check(sim::ThreadCtx& ctx) override { return fs_.fsck(ctx); }
+  hw::Platform* platform_of() const override { return &ns_.platform(); }
 
  private:
+  hw::PmemNamespace& ns_;
   nova::NovaFs fs_;
 };
 

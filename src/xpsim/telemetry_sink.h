@@ -63,6 +63,24 @@ enum class ReadPathEventKind : std::uint8_t {
 };
 inline constexpr unsigned kReadPathEventKinds = 5;
 
+// Serving-layer resilience events, emitted by the self-healing sharded
+// frontend (src/workload/shard.h). The first four are the per-shard
+// health state machine's transitions (healthy -> degraded -> quarantined
+// -> rebuilding -> healthy); the rest are request-level outcomes and
+// rebuild progress. Only produced on fault paths (or operator-initiated
+// quarantine), so fault-free runs emit no such events.
+enum class ResilienceEventKind : std::uint8_t {
+  kDegraded,      // shard took its first contained media error
+  kQuarantined,   // shard pulled from service (error budget / write error)
+  kRebuilding,    // online scrub/rebuild started on donated turns
+  kRecovered,     // shard verified and returned to healthy
+  kFailoverRead,  // a read served by a replica copy
+  kRetry,         // an op retried after a deterministic simulated backoff
+  kUnavailable,   // an op exhausted its deadline budget (typed error)
+  kResilverKey,   // one key copied back into a rebuilding shard
+};
+inline constexpr unsigned kResilienceEventKinds = 8;
+
 class TelemetrySink {
  public:
   virtual ~TelemetrySink() = default;
@@ -97,6 +115,12 @@ class TelemetrySink {
   // Invalidations triggered by untimed writes carry t == 0.
   virtual void read_path(ReadPathEventKind /*kind*/, sim::Time /*t*/,
                          std::uint64_t /*bytes*/) {}
+
+  // A serving-layer resilience event on shard `shard` (a physical store
+  // index in the sharded frontend). Health transitions and request-level
+  // outcomes both arrive here; fault-free runs emit none.
+  virtual void resilience(ResilienceEventKind /*kind*/, sim::Time /*t*/,
+                          unsigned /*shard*/) {}
 
   // A schedule-exploration yield point (src/schedmc) announced by a
   // hooked thread. `kind` indexes sim::SchedPoint (sched_point_name()).

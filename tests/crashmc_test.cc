@@ -103,6 +103,18 @@ TEST(CrashMcSweep, ShardedLsmkv) {
   expect_clean_sweep(*t, {.max_exhaustive = 256, .samples = 200}, 200);
 }
 
+// Self-healing replicated frontend: the workload quarantines a store
+// mid-run (with at-rest poison planted), so sampled crash points land
+// inside the online rebuild itself — ARS, heal ntstores, the reformat,
+// and re-silver WAL bursts. Recovery re-opens a fresh frontend, drives
+// the rebuild to completion and checks the served state against the
+// pre-/post-op model twice (double-recovery idempotence: a crash during
+// recovery's own rebuild must replay cleanly).
+TEST(CrashMcSweep, ResilientReplicatedLsmkv) {
+  auto t = crashmc::make_resilient_target();
+  expect_clean_sweep(*t, {.max_exhaustive = 0, .samples = 60}, 60);
+}
+
 // A different sampling seed must explore different (still violation-free)
 // points — cheap evidence the sampler isn't stuck on one subset.
 TEST(CrashMcSweep, SeedVariesSampledPoints) {

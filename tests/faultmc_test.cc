@@ -10,10 +10,14 @@
 // exhaustive sweeps live in bench/crashmc_sweep.cc --faults.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "crashmc/faultcampaign.h"
 #include "crashmc/workloads.h"
+#include "sim/rng.h"
+#include "workload/shard.h"
 #include "xpsim/fault.h"
 
 namespace xp::crashmc {
@@ -116,6 +120,186 @@ TEST(FaultCampaign, SameSeedReplaysIdentically) {
   EXPECT_EQ(a.faults_fired, b.faults_fired);
   EXPECT_EQ(a.typed_errors, b.typed_errors);
   EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+// ---------------------------------------------------------------------
+// Self-healing sharded frontend under media faults. These drive the
+// frontend's typed try_* path directly rather than through
+// explore_faults(): the frontend is *supposed* to contain MediaErrors
+// (the campaign harness treats a workload-caught fault as a violation,
+// because bare stores must let it propagate).
+
+// Poison up to `max_lines` nonzero XPLines of the durable image, so the
+// injected faults are guaranteed to sit under live store data.
+unsigned poison_live_lines(hw::PmemNamespace& ns, unsigned max_lines,
+                           unsigned stride = 1) {
+  std::vector<std::uint8_t> img(ns.size());
+  ns.peek(0, img);
+  hw::FaultInjector inj(ns.platform());
+  unsigned planted = 0, seen = 0;
+  for (std::uint64_t off = 0; off + hw::Platform::kXpLineBytes <= img.size();
+       off += hw::Platform::kXpLineBytes) {
+    bool live = false;
+    for (unsigned b = 0; b < hw::Platform::kXpLineBytes && !live; ++b)
+      live = img[off + b] != 0;
+    if (!live) continue;
+    if (seen++ % stride != 0) continue;
+    inj.poison(ns, off);
+    if (++planted >= max_lines) break;
+  }
+  return planted;
+}
+
+// At-rest poison lands on two of four DIMMs mid-workload. The
+// containment contract: every op ends in success or a typed error
+// (never an escaped exception, never a value outside the model), the
+// frontend quarantines and rebuilds the damaged stores online, and once
+// healthy again the full keyspace — including the rebuilt stores' own
+// slices — is byte-identical to the model. Zero acked writes lost.
+TEST(FaultCampaign, ShardedFrontendContainsAtRestPoisonMidRun) {
+  hw::Platform platform;
+  const auto ns =
+      workload::ShardedStore::make_namespaces(platform, 4, 16ull << 20);
+  workload::ShardOptions so;
+  so.kind = workload::StoreKind::kLsmkv;
+  so.replicas = 2;
+  so.tuning.memtable_bytes = 2 << 10;
+  workload::ShardedStore store(ns, so);
+  sim::ThreadCtx t({.id = 1, .socket = 0, .mlp = 8, .seed = 11});
+  store.create(t);
+
+  std::map<std::string, std::string> model;
+  auto key = [](std::uint64_t i) { return workload::key_name(i); };
+  for (int i = 0; i < 200; ++i) {
+    model[key(i)] = workload::make_value(i, 0, 64);
+    ASSERT_TRUE(store.try_put(t, key(i), model[key(i)]).ok());
+  }
+  store.flush_pending(t);
+
+  sim::Rng rng(17);
+  for (int op = 0; op < 400; ++op) {
+    // Two staggered failure domains: stores 0 and 2 go bad while the
+    // workload runs. Copies are (s, s+1), so every logical shard keeps
+    // at least one clean copy throughout.
+    if (op == 100) ASSERT_GT(poison_live_lines(*ns[0], 12, 2), 0u);
+    if (op == 220) ASSERT_GT(poison_live_lines(*ns[2], 12, 2), 0u);
+    const std::uint64_t id = rng.uniform(200);
+    if (rng.uniform(3) == 0) {
+      const std::string v = workload::make_value(id, op + 1, 64);
+      const auto r = store.try_put(t, key(id), v);
+      if (r.ok()) model[key(id)] = v;  // only acked writes enter the model
+    } else {
+      std::string v;
+      const auto r = store.try_get(t, key(id), &v);
+      ASSERT_NE(r.status, workload::OpStatus::kDataLoss) << op;
+      if (r.ok()) {
+        ASSERT_EQ(v, model[key(id)]) << "silent corruption at op " << op;
+      }
+    }
+    store.background_turn(t);
+  }
+
+  for (int turn = 0; turn < 6000 && !store.all_healthy(); ++turn)
+    store.background_turn(t);
+  ASSERT_TRUE(store.all_healthy());
+  store.flush_pending(t);
+  const auto& st = store.resilience();
+  EXPECT_GT(st.media_errors, 0u);
+  EXPECT_GE(st.quarantined, 1u);
+  EXPECT_EQ(st.recovered, st.quarantined);
+  EXPECT_GT(st.keys_resilvered, 0u);
+  EXPECT_EQ(st.keys_lost, 0u);
+  EXPECT_TRUE(store.check(t).ok());
+
+  // Full keyspace, byte-identical — through the frontend and from each
+  // rebuilt store directly.
+  for (auto& [k, want] : model) {
+    std::string v;
+    ASSERT_TRUE(store.try_get(t, k, &v).ok()) << k;
+    ASSERT_EQ(v, want) << k;
+    const unsigned s = workload::shard_of(k, 4);
+    for (unsigned r = 0; r < 2; ++r) {
+      std::string copy;
+      ASSERT_TRUE(store.shard((s + r) % 4).get(t, k, &copy)) << k;
+      ASSERT_EQ(copy, want) << k << " copy " << r;
+    }
+  }
+}
+
+// An armed device read fires mid-workload: the machine check kills the
+// "process" (frozen platform — the frontend must NOT contain that), and
+// a fresh frontend over the same namespaces recovers: the ARS pass at
+// open quarantines the poisoned store, the rebuild re-silvers it from
+// its replica, and every key reads back as its last-acked value (the
+// one in-flight op may land either side of the crash).
+TEST(FaultCampaign, ShardedFrontendRecoversFromArmedReadCrash) {
+  hw::Platform platform;
+  const auto ns =
+      workload::ShardedStore::make_namespaces(platform, 2, 16ull << 20);
+  workload::ShardOptions so;
+  so.kind = workload::StoreKind::kLsmkv;
+  so.replicas = 2;
+  so.tuning.memtable_bytes = 2 << 10;
+
+  std::map<std::string, std::string> model;
+  std::string inflight_key, inflight_val;
+  {
+    workload::ShardedStore store(ns, so);
+    sim::ThreadCtx t({.id = 1, .socket = 0, .mlp = 8, .seed = 3});
+    store.create(t);
+    for (int i = 0; i < 80; ++i) {
+      model[workload::key_name(i)] = workload::make_value(i, 0, 64);
+      store.put(t, workload::key_name(i), model[workload::key_name(i)]);
+    }
+    store.flush_pending(t);
+
+    hw::FaultInjector inj(platform);
+    inj.arm_nth_device_read(400);
+    bool crashed = false;
+    sim::Rng rng(5);
+    try {
+      for (int op = 0; op < 4000; ++op) {
+        const std::uint64_t id = rng.uniform(80);
+        if (rng.uniform(2) == 0) {
+          inflight_key = workload::key_name(id);
+          inflight_val = workload::make_value(id, op + 1, 64);
+          const auto r = store.try_put(t, inflight_key, inflight_val);
+          if (r.ok()) model[inflight_key] = inflight_val;
+          inflight_key.clear();
+        } else {
+          std::string v;
+          (void)store.try_get(t, workload::key_name(id), &v);
+        }
+      }
+    } catch (const hw::MediaError&) {
+      crashed = platform.frozen();
+    }
+    ASSERT_TRUE(crashed) << "armed read never fired — workload too small";
+  }
+
+  platform.clear_media_fault();
+  platform.reset_timing();
+  workload::ShardedStore again(ns, so);
+  sim::ThreadCtx t({.id = 9, .socket = 0, .mlp = 8, .seed = 7});
+  ASSERT_TRUE(again.open(t));
+  EXPECT_FALSE(again.all_healthy());  // ARS-at-open found the poison
+  for (int turn = 0; turn < 6000 && !again.all_healthy(); ++turn)
+    again.background_turn(t);
+  ASSERT_TRUE(again.all_healthy());
+  EXPECT_GE(again.resilience().recovered, 1u);
+  EXPECT_TRUE(again.check(t).ok());
+
+  for (auto& [k, want] : model) {
+    std::string v;
+    const auto r = again.try_get(t, k, &v);
+    ASSERT_TRUE(r.ok()) << k;
+    if (k == inflight_key) {
+      // The crash interrupted this put: pre- or post-state, nothing else.
+      ASSERT_TRUE(v == want || v == inflight_val) << k;
+    } else {
+      ASSERT_EQ(v, want) << k;
+    }
+  }
 }
 
 }  // namespace

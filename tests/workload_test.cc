@@ -3,8 +3,11 @@
 // (same-process repeats and across sweep --jobs), adapter timing
 // neutrality, the deferred background-compaction knob (off-path
 // telemetry identity, on-path data equivalence, the write-stall
-// admission gate), and the sharded frontend's routing/scan-merge/
-// per-DIMM isolation contracts.
+// admission gate), the sharded frontend's routing/scan-merge/per-DIMM
+// isolation contracts, and the self-healing resilience layer (typed
+// error surface, health state machine, replication failover, online
+// rebuild, writer-lane restoration across contained faults).
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -16,8 +19,10 @@
 #include "lsmkv/db.h"
 #include "sweep/sweep.h"
 #include "telemetry/registry.h"
+#include "telemetry/session.h"
 #include "workload/engine.h"
 #include "workload/shard.h"
+#include "xpsim/fault.h"
 #include "xpsim/platform.h"
 
 namespace xp {
@@ -496,6 +501,338 @@ TEST(ShardedStore, ReopenRecoversAllShards) {
     EXPECT_EQ(v, workload::make_value(i, 0, 50));
   }
   EXPECT_TRUE(again.check(t).ok());
+}
+
+// ---------------------------------------------------------------------
+// Self-healing resilience layer.
+
+// Poison up to `max_lines` nonzero XPLines of the namespace's durable
+// image (skipping the first `skip` hits). Targeting nonzero lines
+// guarantees the poison lands on live store data, so subsequent reads
+// actually trip over it — deterministic and family-agnostic.
+unsigned poison_live_lines(hw::PmemNamespace& ns, unsigned max_lines,
+                           unsigned stride = 1) {
+  std::vector<std::uint8_t> img(ns.size());
+  ns.peek(0, img);
+  hw::FaultInjector inj(ns.platform());
+  unsigned planted = 0, seen = 0;
+  for (std::uint64_t off = 0; off + hw::Platform::kXpLineBytes <= img.size();
+       off += hw::Platform::kXpLineBytes) {
+    bool live = false;
+    for (unsigned b = 0; b < hw::Platform::kXpLineBytes && !live; ++b)
+      live = img[off + b] != 0;
+    if (!live) continue;
+    if (seen++ % stride != 0) continue;
+    inj.poison(ns, off);
+    if (++planted >= max_lines) break;
+  }
+  return planted;
+}
+
+// The default try_* wrappers on a bare adapter (no sharded frontend):
+// a poisoned line read surfaces as OpStatus::kMediaError, never as an
+// escaped exception, for every store family.
+TEST(StoreIface, BareAdaptersReturnTypedMediaErrors) {
+  for (const workload::StoreKind kind :
+       {workload::StoreKind::kLsmkv, workload::StoreKind::kCmap,
+        workload::StoreKind::kStree, workload::StoreKind::kNova}) {
+    hw::Platform platform;
+    auto& ns = platform.optane(32ull << 20);
+    workload::StoreTuning tuning;
+    tuning.memtable_bytes = 2 << 10;
+    auto store = workload::make_store(kind, ns, tuning);
+    sim::ThreadCtx t = make_thread();
+    store->create(t);
+    for (int i = 0; i < 100; ++i)
+      store->put(t, workload::key_name(i), workload::make_value(i, 0, 64));
+    store->flush_pending(t);
+    ASSERT_GT(poison_live_lines(ns, 30, /*stride=*/2), 0u) << store->name();
+
+    unsigned media = 0;
+    for (int i = 0; i < 100; ++i) {
+      std::string v;
+      const auto r = store->try_get(t, workload::key_name(i), &v);
+      if (r.status == workload::OpStatus::kMediaError) ++media;
+      if (r.status == workload::OpStatus::kOk) {
+        EXPECT_EQ(v, workload::make_value(i, 0, 64)) << store->name();
+      }
+    }
+    EXPECT_GT(media, 0u) << store->name()
+                         << ": poison never surfaced as a typed error";
+  }
+}
+
+// K == 1 (replication off): poisoned data surfaces as typed statuses —
+// never an exception, never garbage — the shard walks
+// healthy -> degraded -> quarantined, and the in-place salvage path
+// returns it to service with bounded, typed loss.
+TEST(Resilience, TypedErrorsAndSalvageWithoutReplication) {
+  hw::Platform platform;
+  const auto ns =
+      workload::ShardedStore::make_namespaces(platform, 1, 16ull << 20);
+  workload::ShardOptions so;
+  so.kind = workload::StoreKind::kLsmkv;
+  so.tuning.memtable_bytes = 2 << 10;  // data lives in SSTables, not DRAM
+  workload::ShardedStore store(ns, so);
+  sim::ThreadCtx t = make_thread();
+  store.create(t);
+
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 120; ++i) {
+    const std::string k = workload::key_name(i);
+    const std::string v = workload::make_value(i, 0, 64);
+    store.put(t, k, v);
+    model[k] = v;
+  }
+  store.flush_pending(t);
+  ASSERT_GT(poison_live_lines(*ns[0], 24, /*stride=*/3), 0u);
+
+  // Typed read pass: each op ends in a status, and a hit is always the
+  // written value (the media model clobbers poisoned lines, so a read
+  // that "succeeded" through poison would differ).
+  for (auto& [k, want] : model) {
+    std::string v;
+    const auto r = store.try_get(t, k, &v);
+    if (r.status == workload::OpStatus::kOk) {
+      EXPECT_EQ(v, want) << k;
+    }
+  }
+  const auto& st = store.resilience();
+  EXPECT_GT(st.media_errors, 0u);
+  EXPECT_GE(st.quarantined, 1u);
+
+  // Drive the salvage to completion on donated turns.
+  for (int turn = 0; turn < 2000 && !store.all_healthy(); ++turn)
+    store.background_turn(t);
+  ASSERT_TRUE(store.all_healthy());
+  EXPECT_GT(store.resilience().lines_healed, 0u);
+  EXPECT_GE(store.resilience().recovered, 1u);
+  EXPECT_TRUE(store.check(t).ok());
+
+  // Bounded loss, never garbage: every key now reads back either its
+  // exact value or a clean typed miss.
+  for (auto& [k, want] : model) {
+    std::string v;
+    const auto r = store.try_get(t, k, &v);
+    ASSERT_TRUE(r.status == workload::OpStatus::kOk ||
+                r.status == workload::OpStatus::kNotFound)
+        << k << " -> " << workload::op_status_name(r.status);
+    if (r.status == workload::OpStatus::kOk) {
+      EXPECT_EQ(v, want) << k;
+    }
+  }
+}
+
+// Writer-lane leak regression: a MediaError thrown mid-write (here: the
+// inline compaction a put triggers reads a poisoned SSTable) unwinds
+// through the per-shard LaneGuard. The issuing thread's write stream
+// must be restored after every contained fault — a leaked lane would
+// silently misattribute all later traffic to the dead shard's stream.
+TEST(Resilience, WriterLaneRestoredAcrossContainedFaults) {
+  hw::Platform platform;
+  const auto ns =
+      workload::ShardedStore::make_namespaces(platform, 2, 16ull << 20);
+  workload::ShardOptions so;
+  so.kind = workload::StoreKind::kLsmkv;
+  so.writer_lanes = true;
+  so.tuning.memtable_bytes = 1 << 10;
+  so.tuning.write_combine = true;  // the batched LineBatcher path
+  workload::ShardedStore store(ns, so);
+  sim::ThreadCtx t = make_thread(3);
+  store.create(t);
+  for (int i = 0; i < 200; ++i)
+    store.put(t, workload::key_name(i), workload::make_value(i, 0, 80));
+  store.flush_pending(t);
+  poison_live_lines(*ns[0], 64);
+  poison_live_lines(*ns[1], 64);
+
+  const unsigned own = t.write_stream();
+  // Single-key path: every put returns with the lane released, faulted
+  // or not.
+  for (int i = 0; i < 200; ++i) {
+    (void)store.try_put(t, workload::key_name(i),
+                        workload::make_value(i, 1, 80));
+    ASSERT_EQ(t.write_stream(), own) << "lane leaked at put " << i;
+  }
+  // Batched cross-shard dispatch: same contract through apply_batch.
+  std::vector<workload::BatchOp> batch;
+  for (int i = 0; i < 64; ++i)
+    batch.push_back({workload::key_name(i), workload::make_value(i, 2, 80),
+                     false});
+  (void)store.try_apply_batch(t, batch);
+  EXPECT_EQ(t.write_stream(), own) << "lane leaked by batched dispatch";
+  // The poison actually fired (otherwise this test proves nothing).
+  EXPECT_GT(store.resilience().media_errors, 0u);
+}
+
+workload::Result run_replicated(unsigned replicas, unsigned* quarantine,
+                                workload::ResilienceStats* stats = nullptr) {
+  hw::Platform platform;
+  const auto ns =
+      workload::ShardedStore::make_namespaces(platform, 4, 32ull << 20);
+  workload::ShardOptions so;
+  so.kind = workload::StoreKind::kLsmkv;
+  so.replicas = replicas;
+  so.tuning.memtable_bytes = 8 << 10;
+  workload::ShardedStore store(ns, so);
+  workload::Spec spec = workload::ycsb('A');
+  spec.records = 200;
+  spec.ops = 400;
+  sim::ThreadCtx setup = make_thread(100);
+  store.create(setup);
+  workload::load(store, spec, setup);
+  if (quarantine != nullptr) store.quarantine_shard(setup, *quarantine);
+  workload::EngineOptions eo;
+  // Single-threaded: replication changes per-op simulated cost, so with
+  // several workers it changes the interleaving (and thus which version
+  // each read observes). One worker makes the observed-value sequence a
+  // pure function of program order — comparable across replica counts.
+  eo.threads = 1;
+  eo.validate_reads = true;
+  eo.background_thread = true;
+  const auto r = workload::run(store, spec, eo);
+  if (stats != nullptr) *stats = store.resilience();
+  return r;
+}
+
+// Replication off-path identity: with no faults, a replicas=2 run reads
+// the same values as replicas=1 (primary copies serve everything), so
+// the engine checksum is identical and every resilience counter is
+// zero. This pins "replication changes durability, not results".
+TEST(Resilience, ReplicationIsResultInvariantWhenFaultFree) {
+  workload::ResilienceStats s1, s2;
+  const auto r1 = run_replicated(1, nullptr, &s1);
+  const auto r2 = run_replicated(2, nullptr, &s2);
+  EXPECT_EQ(r1.checksum, r2.checksum);
+  for (const auto* r : {&r1, &r2}) {
+    EXPECT_EQ(r->typed_errors, 0u);
+    EXPECT_EQ(r->failovers, 0u);
+    EXPECT_EQ(r->retries, 0u);
+    EXPECT_EQ(r->corruptions, 0u);
+  }
+  for (const auto* s : {&s1, &s2}) {
+    EXPECT_EQ(s->media_errors, 0u);
+    EXPECT_EQ(s->degraded + s->quarantined + s->recovered, 0u);
+    EXPECT_EQ(s->failover_reads + s->keys_resilvered, 0u);
+  }
+}
+
+// Degraded-mode service: with one of four shards quarantined for the
+// whole run, a replicas=2 frontend keeps serving every op (failover
+// reads, zero unavailable, zero corruptions) while the rebuild runs on
+// the engine's donated background turns.
+TEST(Resilience, QuarantinedShardServesThroughReplicas) {
+  unsigned q = 0;
+  workload::ResilienceStats st;
+  const auto r = run_replicated(2, &q, &st);
+  EXPECT_EQ(r.ops, 400u);
+  EXPECT_EQ(r.corruptions, 0u);
+  EXPECT_GT(r.failovers, 0u);
+  EXPECT_EQ(st.unavailable, 0u);  // every logical shard kept a live copy
+  EXPECT_GE(st.quarantined, 1u);
+  EXPECT_GT(r.read_hits, 0u);
+}
+
+// Online rebuild end-to-end: quarantine a store under live writes, let
+// donated turns scrub/heal/reformat/re-silver/verify it, and require
+// the rebuilt store's hosted keyspace to be byte-identical to the
+// surviving copies — zero acked writes lost.
+TEST(Resilience, RebuildRestoresByteIdenticalKeyspace) {
+  hw::Platform platform;
+  const auto ns =
+      workload::ShardedStore::make_namespaces(platform, 4, 32ull << 20);
+  workload::ShardOptions so;
+  so.kind = workload::StoreKind::kLsmkv;
+  so.replicas = 2;
+  so.tuning.memtable_bytes = 4 << 10;
+  workload::ShardedStore store(ns, so);
+  sim::ThreadCtx t = make_thread();
+  store.create(t);
+
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 160; ++i) {
+    const std::string k = workload::key_name(i);
+    model[k] = workload::make_value(i, 0, 60);
+    ASSERT_TRUE(store.try_put(t, k, model[k]).ok());
+  }
+  store.quarantine_shard(t, 0);
+  ASSERT_EQ(store.health(0), workload::ShardHealth::kQuarantined);
+
+  // Writes keep flowing while store 0 is out: updates land on the
+  // surviving copies and in store 0's pending set.
+  for (int i = 0; i < 160; i += 3) {
+    const std::string k = workload::key_name(i);
+    model[k] = workload::make_value(i, 1, 60);
+    ASSERT_TRUE(store.try_put(t, k, model[k]).ok());
+  }
+  // Reads never stall: logical shard 0 fails over to store 1.
+  for (int i = 0; i < 160; ++i) {
+    std::string v;
+    const auto r = store.try_get(t, workload::key_name(i), &v);
+    ASSERT_TRUE(r.ok()) << i;
+    EXPECT_EQ(v, model[workload::key_name(i)]);
+  }
+  EXPECT_GT(store.resilience().failover_reads, 0u);
+
+  for (int turn = 0; turn < 4000 && !store.all_healthy(); ++turn)
+    store.background_turn(t);
+  ASSERT_TRUE(store.all_healthy());
+  const auto& st = store.resilience();
+  EXPECT_EQ(st.recovered, 1u);
+  EXPECT_GT(st.keys_resilvered, 0u);
+  EXPECT_EQ(st.keys_lost, 0u);
+  EXPECT_TRUE(store.check(t).ok());
+
+  // Store 0 hosts logical shards 0 (as primary) and 3 (as replica);
+  // read it directly and compare byte-for-byte against the model.
+  unsigned hosted = 0;
+  for (auto& [k, want] : model) {
+    const unsigned s = workload::shard_of(k, 4);
+    if (s != 0 && s != 3) continue;
+    std::string v;
+    ASSERT_TRUE(store.shard(0).get(t, k, &v)) << k;
+    EXPECT_EQ(v, want) << k;
+    ++hosted;
+  }
+  EXPECT_GT(hosted, 0u);
+  // And the frontend itself still serves the full keyspace exactly.
+  for (auto& [k, want] : model) {
+    std::string v;
+    ASSERT_TRUE(store.try_get(t, k, &v).ok()) << k;
+    EXPECT_EQ(v, want) << k;
+  }
+}
+
+// Telemetry: resilience transitions reach the attached Session and the
+// summary grows a "resilience" section; a fault-free run keeps every
+// counter at zero and the summary free of the section (byte-identity
+// with pre-resilience summaries).
+TEST(Resilience, TelemetryCountsTransitionsOnlyWhenTheyHappen) {
+  hw::Platform platform;
+  const auto ns =
+      workload::ShardedStore::make_namespaces(platform, 2, 16ull << 20);
+  telemetry::Session session(platform);
+  workload::ShardOptions so;
+  so.kind = workload::StoreKind::kStree;
+  so.replicas = 2;
+  workload::ShardedStore store(ns, so);
+  sim::ThreadCtx t = make_thread();
+  store.create(t);
+  for (int i = 0; i < 40; ++i)
+    store.put(t, workload::key_name(i), workload::make_value(i, 0, 40));
+  EXPECT_EQ(session.summary_json().find("\"resilience\""), std::string::npos);
+
+  store.quarantine_shard(t, 1);
+  for (int turn = 0; turn < 2000 && !store.all_healthy(); ++turn)
+    store.background_turn(t);
+  ASSERT_TRUE(store.all_healthy());
+  EXPECT_EQ(
+      session.resilience_count(hw::ResilienceEventKind::kQuarantined), 1u);
+  EXPECT_EQ(
+      session.resilience_count(hw::ResilienceEventKind::kRecovered), 1u);
+  EXPECT_GE(
+      session.resilience_count(hw::ResilienceEventKind::kResilverKey), 1u);
+  EXPECT_NE(session.summary_json().find("\"resilience\""), std::string::npos);
 }
 
 }  // namespace
