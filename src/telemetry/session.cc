@@ -229,8 +229,13 @@ void Session::resilience(hw::ResilienceEventKind kind, sim::Time t,
   ++resilience_counts_[static_cast<unsigned>(kind)];
   last_event_time_ = std::max(last_event_time_, t);
   if (trace_) {
-    std::string args = "{\"shard\":";
-    append_u64(args, shard);
+    // Op-level events carry the no-shard sentinel: emit no shard field
+    // rather than a plausible-looking out-of-range index.
+    std::string args = "{";
+    if (shard != hw::kResilienceNoShard) {
+      args += "\"shard\":";
+      append_u64(args, shard);
+    }
     args += '}';
     trace_->instant(resilience_kind_name(kind), "resilience", t, 0, 0,
                     std::move(args));

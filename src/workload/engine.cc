@@ -135,15 +135,25 @@ Result run(StoreIface& store, const Spec& spec, const EngineOptions& opts) {
       auto write = [&](std::uint64_t id, bool is_insert) {
         const std::string key = key_name(id);
         std::string value = make_value(id, pt.seq + 1, spec.value_len);
-        if (opts.validate_reads) oracle.record(id, value);
         if (opts.dispatch_batch > 0) {
+          // Batched writes are recorded optimistically at enqueue: a
+          // kUnavailable batch is partial per shard group, so holding
+          // these hashes back would flag genuinely-applied values as
+          // corrupt.
+          if (opts.validate_reads) oracle.record(id, value);
           pt.batch.push_back({key, std::move(value), false});
           if (pt.batch.size() >= opts.dispatch_batch) {
             absorb(store.try_apply_batch(ctx, pt.batch));
             pt.batch.clear();
           }
         } else {
-          absorb(store.try_put(ctx, key, value));
+          const OpResult r = store.try_put(ctx, key, value);
+          absorb(r);
+          // Only acknowledged values are plausible: a kUnavailable put
+          // was applied to no copy, so a later read matching it IS a
+          // corruption and must not pass validation.
+          if (opts.validate_reads && r.status != OpStatus::kUnavailable)
+            oracle.record(id, value);
         }
         if (is_insert) ++res.inserts; else ++res.updates;
         h = mix64(h ^ id);
@@ -186,8 +196,10 @@ Result run(StoreIface& store, const Spec& spec, const EngineOptions& opts) {
           const std::uint64_t id = key_id(pt);
           point_read(id);
           const std::string nv = make_value(id, pt.seq + 1, spec.value_len);
-          if (opts.validate_reads) oracle.record(id, nv);
-          absorb(store.try_put(ctx, key_name(id), nv));
+          const OpResult r = store.try_put(ctx, key_name(id), nv);
+          absorb(r);
+          if (opts.validate_reads && r.status != OpStatus::kUnavailable)
+            oracle.record(id, nv);
           ++res.rmws;
           break;
         }

@@ -162,11 +162,12 @@ OpResult ShardedStore::with_retries(sim::ThreadCtx& ctx, Fn&& once) {
          ctx.now() - start + backoff <= opts_.op_deadline);
     if (!budget_left) {
       ++stats_.unavailable;
-      emit(ctx.now(), hw::ResilienceEventKind::kUnavailable, shards());
+      emit(ctx.now(), hw::ResilienceEventKind::kUnavailable,
+           hw::kResilienceNoShard);
       return r;
     }
     ++stats_.retries;
-    emit(ctx.now(), hw::ResilienceEventKind::kRetry, shards());
+    emit(ctx.now(), hw::ResilienceEventKind::kRetry, hw::kResilienceNoShard);
     // Make the wait useful: one donated rebuild step per backoff round.
     rebuild_step(ctx);
     ctx.advance_by(backoff);
@@ -201,10 +202,8 @@ OpResult ShardedStore::put_once(sim::ThreadCtx& ctx, std::string_view key,
     res.status = OpStatus::kUnavailable;
     return res;
   }
-  if (replicas_ > 1) {
-    owned_[s].insert(std::string(key));
-    if (!lost_.empty()) lost_.erase(std::string(key));
-  }
+  owned_[s].insert(std::string(key));
+  if (!lost_.empty()) lost_.erase(std::string(key));
   return res;
 }
 
@@ -273,10 +272,8 @@ OpResult ShardedStore::del_once(sim::ThreadCtx& ctx, std::string_view key,
     return res;
   }
   if (found != nullptr) *found = f;
-  if (replicas_ > 1) {
-    owned_[s].erase(std::string(key));
-    if (!lost_.empty()) lost_.erase(std::string(key));
-  }
+  owned_[s].erase(std::string(key));
+  if (!lost_.empty()) lost_.erase(std::string(key));
   if (!f && del_reports_found()) res.status = OpStatus::kNotFound;
   return res;
 }
@@ -297,20 +294,57 @@ OpResult ShardedStore::try_del(sim::ThreadCtx& ctx, std::string_view key,
   return with_retries(ctx, [&] { return del_once(ctx, key, found); });
 }
 
+// The legacy untyped surface is fire-and-forget under faults: a typed
+// error outcome has no channel back to the caller, so it is counted in
+// stats_.legacy_dropped instead of vanishing (see shard.h).
+void ShardedStore::note_legacy(const OpResult& r) {
+  if (r.status != OpStatus::kOk && r.status != OpStatus::kNotFound)
+    ++stats_.legacy_dropped;
+}
+
 void ShardedStore::put(sim::ThreadCtx& ctx, std::string_view key,
                        std::string_view value) {
-  (void)try_put(ctx, key, value);
+  note_legacy(try_put(ctx, key, value));
 }
 
 bool ShardedStore::get(sim::ThreadCtx& ctx, std::string_view key,
                        std::string* value) {
-  return try_get(ctx, key, value).ok();
+  const OpResult r = try_get(ctx, key, value);
+  note_legacy(r);
+  return r.ok();
 }
 
 bool ShardedStore::del(sim::ThreadCtx& ctx, std::string_view key) {
   bool found = false;
-  (void)try_del(ctx, key, &found);
+  note_legacy(try_del(ctx, key, &found));
   return found;
+}
+
+std::vector<std::pair<std::string, std::string>> ShardedStore::scan_copy(
+    sim::ThreadCtx& ctx, unsigned p, unsigned s, std::string_view start,
+    std::size_t n) {
+  // A physical store co-hosts replicas_ logical shards' copies, so a
+  // scan capped at n can fill up with co-hosted shards' smaller keys
+  // and crowd the target shard's rows out. Resume just past the last
+  // key seen until n target-shard rows are in hand or the store is
+  // exhausted — the cap never silently drops the target shard's rows.
+  std::vector<std::pair<std::string, std::string>> rows;
+  const std::size_t chunk =
+      n >= static_cast<std::size_t>(-1) / replicas_ ? n : n * replicas_;
+  std::string cursor(start);
+  while (rows.size() < n) {
+    auto part = shards_[p]->scan(ctx, cursor, chunk);
+    const bool exhausted = part.size() < chunk;
+    if (!part.empty()) {
+      cursor = part.back().first;
+      cursor.push_back('\0');  // smallest key strictly after the last row
+    }
+    for (auto& kv : part)
+      if (rows.size() < n && shard_of(kv.first, shards()) == s)
+        rows.push_back(std::move(kv));
+    if (exhausted) break;
+  }
+  return rows;
 }
 
 OpResult ShardedStore::try_scan(
@@ -328,17 +362,11 @@ OpResult ShardedStore::try_scan(
       const unsigned p = copy_store(s, r);
       if (!serving(p)) continue;
       try {
-        auto part = shards_[p]->scan(ctx, start, n);
+        auto part = replicas_ > 1 ? scan_copy(ctx, p, s, start, n)
+                                  : shards_[p]->scan(ctx, start, n);
         if (r > 0) {
           ++stats_.failover_reads;
           emit(ctx.now(), hw::ResilienceEventKind::kFailoverRead, p);
-        }
-        if (replicas_ > 1) {
-          // A physical store hosts several logical shards' copies; keep
-          // only this logical shard's rows so replicas never duplicate.
-          std::erase_if(part, [&](const auto& kv) {
-            return shard_of(kv.first, shards()) != s;
-          });
         }
         out->insert(out->end(), std::make_move_iterator(part.begin()),
                     std::make_move_iterator(part.end()));
@@ -363,7 +391,7 @@ OpResult ShardedStore::try_scan(
 std::vector<std::pair<std::string, std::string>> ShardedStore::scan(
     sim::ThreadCtx& ctx, std::string_view start, std::size_t n) {
   std::vector<std::pair<std::string, std::string>> out;
-  (void)try_scan(ctx, start, n, &out);
+  note_legacy(try_scan(ctx, start, n, &out));
   return out;
 }
 
@@ -398,7 +426,7 @@ OpResult ShardedStore::try_apply_batch(sim::ThreadCtx& ctx,
     }
     if (applied == 0) {
       unavailable = true;
-    } else if (replicas_ > 1) {
+    } else {
       for (const BatchOp& op : groups[s]) {
         if (op.del)
           owned_[s].erase(op.key);
@@ -418,7 +446,7 @@ OpResult ShardedStore::try_apply_batch(sim::ThreadCtx& ctx,
 
 void ShardedStore::apply_batch(sim::ThreadCtx& ctx,
                                std::span<const BatchOp> ops) {
-  (void)try_apply_batch(ctx, ops);
+  note_legacy(try_apply_batch(ctx, ops));
 }
 
 void ShardedStore::flush_pending(sim::ThreadCtx& ctx) {
@@ -633,6 +661,17 @@ bool ShardedStore::rebuild_step(sim::ThreadCtx& ctx) {
           shards_[p] = make_store(opts_.kind, *ns_[p], opts_.tuning);
           LaneGuard lane(ctx, opts_.writer_lanes, p);
           shards_[p]->create(ctx);
+        }
+        // Typed loss accounting: any registered key the salvage failed
+        // to bring back reads kDataLoss, never a silent kNotFound. The
+        // registry only covers keys acked through this frontend (after
+        // open() over pre-existing data coverage narrows, never lies).
+        for (const std::string& k : owned_[p]) {
+          std::string v;
+          // insert().second guards the counter: fresh damage mid-probe
+          // restarts salvage, which must not double-count a key.
+          if (!shards_[p]->get(ctx, k, &v) && lost_.insert(k).second)
+            ++stats_.keys_lost;
         }
         health_[p] = ShardHealth::kHealthy;
         read_errors_[p] = 0;

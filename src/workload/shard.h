@@ -116,6 +116,9 @@ struct ResilienceStats {
   std::uint64_t keys_resilvered = 0; // keys copied back into a rebuild
   std::uint64_t keys_lost = 0;       // keys with no surviving copy
   std::uint64_t verify_mismatches = 0;  // rebuilt keys re-copied by verify
+  // Typed error outcomes discarded by the legacy void/bool API (the
+  // untyped wrappers have no channel to report them; see below).
+  std::uint64_t legacy_dropped = 0;
 };
 
 class ShardedStore final : public StoreIface {
@@ -140,6 +143,11 @@ class ShardedStore final : public StoreIface {
   // quarantine survives process restarts) is quarantined for online
   // rebuild and open() still succeeds; with replicas == 1 it fails.
   bool open(sim::ThreadCtx& ctx) override;
+  // The untyped StoreIface surface (put/get/del/scan/apply_batch) is
+  // fire-and-forget under faults: a typed error outcome (kUnavailable,
+  // kMediaError, kDataLoss) is counted in resilience().legacy_dropped
+  // but otherwise indistinguishable from a no-op or a miss. Code that
+  // must observe fault outcomes uses the try_* surface below.
   void put(sim::ThreadCtx& ctx, std::string_view key,
            std::string_view value) override;
   bool get(sim::ThreadCtx& ctx, std::string_view key,
@@ -260,6 +268,14 @@ class ShardedStore final : public StoreIface {
   std::vector<std::string> hosted_keys(sim::ThreadCtx& ctx, unsigned store);
   // First serving copy of `logical` other than `except`, or -1.
   int live_source(unsigned logical, unsigned except) const;
+  // Up to n rows of logical shard `s` from physical store `p`, in key
+  // order from `start`, continuing past co-hosted shards' rows so the
+  // cap never drops target-shard keys (replicated mode only).
+  std::vector<std::pair<std::string, std::string>> scan_copy(
+      sim::ThreadCtx& ctx, unsigned p, unsigned s, std::string_view start,
+      std::size_t n);
+  // Counts a typed error outcome discarded by the legacy untyped API.
+  void note_legacy(const OpResult& r);
 
   // Single-attempt op bodies (no retry); kUnavailable means no copy
   // could take the op and nothing was applied.
@@ -285,10 +301,10 @@ class ShardedStore final : public StoreIface {
   // touches nothing else) ------------------------------------------------
   std::vector<ShardHealth> health_;
   std::vector<unsigned> read_errors_;
-  // Keys acknowledged per logical shard (replicated mode only): the
-  // in-run registry backing resilver/data-loss tracking for scanless
-  // families. Rebuilds also scan healthy copies, so the registry being
-  // DRAM (lost on restart) only narrows coverage for cmap.
+  // Keys acknowledged per logical shard: the in-run registry backing
+  // resilver/data-loss tracking for scanless families and the K==1
+  // salvage loss accounting. Rebuilds also scan healthy copies, so the
+  // registry being DRAM (lost on restart) only narrows coverage.
   std::vector<std::set<std::string>> owned_;
   // Writes a non-serving store missed; drained by resilver.
   std::vector<std::set<std::string>> pending_;

@@ -80,6 +80,9 @@ enum class ResilienceEventKind : std::uint8_t {
   kResilverKey,   // one key copied back into a rebuilding shard
 };
 inline constexpr unsigned kResilienceEventKinds = 8;
+// Op-level events (kRetry, kUnavailable) describe a request, not one
+// physical store; they carry this sentinel in the `shard` argument.
+inline constexpr unsigned kResilienceNoShard = ~0u;
 
 class TelemetrySink {
  public:
@@ -117,7 +120,8 @@ class TelemetrySink {
                          std::uint64_t /*bytes*/) {}
 
   // A serving-layer resilience event on shard `shard` (a physical store
-  // index in the sharded frontend). Health transitions and request-level
+  // index in the sharded frontend, or kResilienceNoShard for op-level
+  // events not tied to one store). Health transitions and request-level
   // outcomes both arrive here; fault-free runs emit none.
   virtual void resilience(ResilienceEventKind /*kind*/, sim::Time /*t*/,
                           unsigned /*shard*/) {}

@@ -609,18 +609,24 @@ TEST(Resilience, TypedErrorsAndSalvageWithoutReplication) {
   EXPECT_GE(store.resilience().recovered, 1u);
   EXPECT_TRUE(store.check(t).ok());
 
-  // Bounded loss, never garbage: every key now reads back either its
-  // exact value or a clean typed miss.
+  // Bounded, *typed* loss, never garbage: every key now reads back
+  // either its exact value or kDataLoss — never a silent kNotFound
+  // (every key was acked through this frontend, so the salvage's loss
+  // accounting covers all of them).
+  std::uint64_t data_loss = 0;
   for (auto& [k, want] : model) {
     std::string v;
     const auto r = store.try_get(t, k, &v);
     ASSERT_TRUE(r.status == workload::OpStatus::kOk ||
-                r.status == workload::OpStatus::kNotFound)
+                r.status == workload::OpStatus::kDataLoss)
         << k << " -> " << workload::op_status_name(r.status);
     if (r.status == workload::OpStatus::kOk) {
       EXPECT_EQ(v, want) << k;
+    } else {
+      ++data_loss;
     }
   }
+  EXPECT_EQ(data_loss, store.resilience().keys_lost);
 }
 
 // Writer-lane leak regression: a MediaError thrown mid-write (here: the
@@ -666,7 +672,8 @@ TEST(Resilience, WriterLaneRestoredAcrossContainedFaults) {
 }
 
 workload::Result run_replicated(unsigned replicas, unsigned* quarantine,
-                                workload::ResilienceStats* stats = nullptr) {
+                                workload::ResilienceStats* stats = nullptr,
+                                char wl = 'A') {
   hw::Platform platform;
   const auto ns =
       workload::ShardedStore::make_namespaces(platform, 4, 32ull << 20);
@@ -675,7 +682,7 @@ workload::Result run_replicated(unsigned replicas, unsigned* quarantine,
   so.replicas = replicas;
   so.tuning.memtable_bytes = 8 << 10;
   workload::ShardedStore store(ns, so);
-  workload::Spec spec = workload::ycsb('A');
+  workload::Spec spec = workload::ycsb(wl);
   spec.records = 200;
   spec.ops = 400;
   sim::ThreadCtx setup = make_thread(100);
@@ -715,6 +722,77 @@ TEST(Resilience, ReplicationIsResultInvariantWhenFaultFree) {
     EXPECT_EQ(s->degraded + s->quarantined + s->recovered, 0u);
     EXPECT_EQ(s->failover_reads + s->keys_resilvered, 0u);
   }
+}
+
+// Replicated-scan identity gate: YCSB E (scan-heavy) must be result-
+// invariant across replica counts too. Regression for the capped-scan
+// row drop: a physical store co-hosts two logical shards' copies, so a
+// per-copy scan capped at n and then filtered could lose target-shard
+// rows; the continuation scan keeps each shard's slice exact and the
+// merged result identical to the unreplicated frontend's.
+TEST(Resilience, ReplicatedScansAreResultInvariant) {
+  workload::ResilienceStats s1, s2;
+  const auto r1 = run_replicated(1, nullptr, &s1, 'E');
+  const auto r2 = run_replicated(2, nullptr, &s2, 'E');
+  EXPECT_GT(r1.scans, 0u);
+  EXPECT_GT(r1.scanned_items, 0u);
+  EXPECT_EQ(r1.checksum, r2.checksum);
+  EXPECT_EQ(r1.scanned_items, r2.scanned_items);
+  for (const auto* r : {&r1, &r2}) {
+    EXPECT_EQ(r->typed_errors, 0u);
+    EXPECT_EQ(r->corruptions, 0u);
+  }
+}
+
+// Deterministic replicated-scan exactness: the merged scan must equal
+// the model's first-n slice for every start/n combination, healthy and
+// with a quarantined store (failover) — co-hosted copies' smaller keys
+// never crowd a shard's rows out, and rows are never silently dropped
+// under a kOk status.
+TEST(Resilience, ReplicatedScanMatchesModelExactly) {
+  hw::Platform platform;
+  const auto ns =
+      workload::ShardedStore::make_namespaces(platform, 4, 32ull << 20);
+  workload::ShardOptions so;
+  so.kind = workload::StoreKind::kLsmkv;
+  so.replicas = 2;
+  so.tuning.memtable_bytes = 8 << 10;
+  workload::ShardedStore store(ns, so);
+  sim::ThreadCtx t = make_thread();
+  store.create(t);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 200; ++i) {
+    const std::string k = workload::key_name(i);
+    model[k] = workload::make_value(i, 0, 48);
+    ASSERT_TRUE(store.try_put(t, k, model[k]).ok());
+  }
+  store.flush_pending(t);
+
+  auto expect_exact = [&](const std::string& start, std::size_t n) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    ASSERT_TRUE(store.try_scan(t, start, n, &rows).ok()) << start << " " << n;
+    auto it = model.lower_bound(start);
+    const std::size_t avail =
+        static_cast<std::size_t>(std::distance(it, model.end()));
+    ASSERT_EQ(rows.size(), std::min(n, avail)) << start << " " << n;
+    for (std::size_t i = 0; i < rows.size(); ++i, ++it) {
+      EXPECT_EQ(rows[i].first, it->first) << "start=" << start << " n=" << n;
+      EXPECT_EQ(rows[i].second, it->second) << rows[i].first;
+    }
+  };
+  const std::size_t sizes[] = {1, 3, 7, 25, 199, 500};
+  for (const std::size_t n : sizes) {
+    expect_exact("", n);
+    expect_exact(workload::key_name(50), n);
+  }
+
+  // Degraded: one store out, every row still exact via the replicas.
+  store.quarantine_shard(t, 0);
+  for (const std::size_t n : sizes) {
+    expect_exact("", n);
+    expect_exact(workload::key_name(50), n);
+  }
+  EXPECT_GT(store.resilience().failover_reads, 0u);
 }
 
 // Degraded-mode service: with one of four shards quarantined for the
